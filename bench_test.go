@@ -1,0 +1,131 @@
+// Package repro's root benchmarks regenerate every table and figure of the
+// paper's evaluation at benchmark-friendly scale: one testing.B benchmark
+// per experiment, each delegating to the same internal/exp runner that
+// cmd/coupbench uses at full scale. Run the full versions with:
+//
+//	go run ./cmd/coupbench -exp all
+//
+// ns/op numbers measure harness runtime (simulator throughput), not
+// simulated performance; the simulated results are printed once per
+// benchmark under -v via b.Log.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/exp"
+	"repro/internal/proto"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+// benchParams shrinks every experiment to benchmark scale.
+func benchParams() exp.Params {
+	p := exp.DefaultParams()
+	p.Scale = 0.05
+	p.MaxCores = 32
+	return p
+}
+
+func runExp(b *testing.B, id string) {
+	e, ok := exp.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	p := benchParams()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tables := e.Run(p)
+		if len(tables) == 0 || len(tables[0].Rows) == 0 {
+			b.Fatalf("%s produced no rows", id)
+		}
+		if i == 0 && testing.Verbose() {
+			for _, t := range tables {
+				b.Log("\n" + t.String())
+			}
+		}
+	}
+}
+
+// BenchmarkFig2Hist regenerates Fig 2 (hist vs bins, three schemes).
+func BenchmarkFig2Hist(b *testing.B) { runExp(b, "fig2") }
+
+// BenchmarkFig10Speedups regenerates Fig 10 (per-app speedups, both
+// protocols, core sweep).
+func BenchmarkFig10Speedups(b *testing.B) { runExp(b, "fig10") }
+
+// BenchmarkFig11AMAT regenerates Fig 11 (AMAT breakdowns).
+func BenchmarkFig11AMAT(b *testing.B) { runExp(b, "fig11") }
+
+// BenchmarkFig12Privatization regenerates Fig 12 (hist reduction-variable
+// comparison against core- and socket-level privatization).
+func BenchmarkFig12Privatization(b *testing.B) { runExp(b, "fig12") }
+
+// BenchmarkFig13RefcountLow regenerates Fig 13a (immediate dealloc, low
+// count).
+func BenchmarkFig13RefcountLow(b *testing.B) { runExp(b, "fig13a") }
+
+// BenchmarkFig13RefcountHigh regenerates Fig 13b (immediate dealloc, high
+// count).
+func BenchmarkFig13RefcountHigh(b *testing.B) { runExp(b, "fig13b") }
+
+// BenchmarkFig13Delayed regenerates Fig 13c (delayed dealloc vs Refcache).
+func BenchmarkFig13Delayed(b *testing.B) { runExp(b, "fig13c") }
+
+// BenchmarkSec55ALU regenerates the Sec 5.5 reduction-unit throughput
+// sensitivity study.
+func BenchmarkSec55ALU(b *testing.B) { runExp(b, "sec55") }
+
+// BenchmarkTrafficTable regenerates the Sec 5.2 off-chip traffic factors.
+func BenchmarkTrafficTable(b *testing.B) { runExp(b, "traffic") }
+
+// BenchmarkTable2 regenerates Table 2 (benchmark characteristics).
+func BenchmarkTable2(b *testing.B) { runExp(b, "table2") }
+
+// BenchmarkAblation regenerates the Fig 1 comparison and design ablations.
+func BenchmarkAblation(b *testing.B) { runExp(b, "ablation") }
+
+// BenchmarkFig8Verify regenerates a slice of Fig 8: exhaustive verification
+// of two-level MESI and MEUSI at 2 cores.
+func BenchmarkFig8Verify(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, sy := range []*proto.System{
+			{Kind: proto.MESI, NCores: 2},
+			{Kind: proto.MEUSI, NCores: 2, NOps: 1},
+		} {
+			r := check.Verify(sy, 1_000_000, 0)
+			if !r.Verified() {
+				b.Fatalf("%v: %v", sy.Kind, r)
+			}
+		}
+	}
+}
+
+// BenchmarkSimulatorThroughput measures raw simulator speed: simulated
+// memory operations per second on a contended-counter kernel.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	const opsPerRun = 16 * 500
+	b.ReportMetric(0, "ns/op") // replaced below
+	for i := 0; i < b.N; i++ {
+		m := sim.New(sim.DefaultConfig(16, sim.MEUSI))
+		ctr := m.Alloc(64, 64)
+		m.Run(func(c *sim.Ctx) {
+			for k := 0; k < 500; k++ {
+				c.CommAdd64(ctr, 1)
+			}
+		})
+	}
+	b.ReportMetric(float64(b.N)*opsPerRun/b.Elapsed().Seconds(), "simops/s")
+}
+
+// BenchmarkWorkloadHist measures end-to-end simulation speed of one hist
+// run (the heaviest single workload in the harness).
+func BenchmarkWorkloadHist(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		w := workloads.NewHist(20_000, 512, workloads.HistShared, 7)
+		if _, err := workloads.Run(w, sim.DefaultConfig(32, sim.MEUSI)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+// Command coupbench regenerates the paper's tables and figures on the
+// simulated system. Each experiment id corresponds to one figure/table in
+// the evaluation (Sec 5); see DESIGN.md's per-experiment index.
+//
+// Usage:
+//
+//	coupbench -exp fig10              # one experiment at full scale
+//	coupbench -exp all -scale 0.2     # everything, scaled down 5x
+//	coupbench -list                   # enumerate experiment ids
+//	coupbench -exp fig2 -csv results  # also write CSV files
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	var (
+		expID  = flag.String("exp", "", "experiment id (or 'all')")
+		scale  = flag.Float64("scale", 1.0, "input scale factor (1.0 = full)")
+		reps   = flag.Int("reps", 1, "seeded repetitions per data point")
+		cores  = flag.Int("maxcores", 128, "cap on simulated core counts")
+		csvDir = flag.String("csv", "", "directory to write CSV outputs into")
+		list   = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list || *expID == "" {
+		fmt.Println("experiments:")
+		for _, e := range exp.All() {
+			fmt.Printf("  %-10s %s\n", e.ID, e.Desc)
+		}
+		if !*list {
+			os.Exit(2)
+		}
+		return
+	}
+
+	p := exp.DefaultParams()
+	p.Scale = *scale
+	p.Reps = *reps
+	p.MaxCores = *cores
+
+	var toRun []exp.Experiment
+	if *expID == "all" {
+		toRun = exp.All()
+	} else {
+		for _, id := range strings.Split(*expID, ",") {
+			e, ok := exp.ByID(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "coupbench: unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			toRun = append(toRun, e)
+		}
+	}
+
+	for _, e := range toRun {
+		start := time.Now()
+		fmt.Printf("### %s — %s\n", e.ID, e.Desc)
+		tables := e.Run(p)
+		for i, t := range tables {
+			fmt.Println(t.String())
+			if *csvDir != "" {
+				if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+					fmt.Fprintf(os.Stderr, "coupbench: %v\n", err)
+					os.Exit(1)
+				}
+				name := fmt.Sprintf("%s_%d.csv", e.ID, i)
+				path := filepath.Join(*csvDir, name)
+				if err := os.WriteFile(path, []byte(t.CSV()), 0o644); err != nil {
+					fmt.Fprintf(os.Stderr, "coupbench: %v\n", err)
+					os.Exit(1)
+				}
+			}
+		}
+		fmt.Printf("(%s in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

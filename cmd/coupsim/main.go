@@ -1,0 +1,77 @@
+// Command coupsim runs one workload on one simulated machine configuration
+// and prints the run's cycle count, AMAT breakdown, protocol events and
+// traffic — the quickest way to poke at the simulator.
+//
+// Usage:
+//
+//	coupsim -workload hist -proto meusi -cores 64 -bins 512
+//	coupsim -workload bfs -proto mesi -cores 128
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+func main() {
+	var (
+		name  = flag.String("workload", "hist", "hist|hist-priv|spmv|pgrank|bfs|fluid|refcount|refcount-delayed|counter")
+		proto = flag.String("proto", "meusi", "mesi|meusi|rmo")
+		cores = flag.Int("cores", 64, "simulated cores")
+		bins  = flag.Int("bins", 512, "histogram bins (hist)")
+		size  = flag.Int("size", 100000, "workload size (pixels, matrix dim, updates...)")
+		seed  = flag.Uint64("seed", 1, "machine seed")
+	)
+	flag.Parse()
+
+	var pr sim.Protocol
+	switch *proto {
+	case "mesi":
+		pr = sim.MESI
+	case "meusi":
+		pr = sim.MEUSI
+	case "rmo":
+		pr = sim.RMO
+	default:
+		fmt.Fprintf(os.Stderr, "coupsim: unknown protocol %q\n", *proto)
+		os.Exit(2)
+	}
+
+	var w workloads.Workload
+	switch *name {
+	case "hist":
+		w = workloads.NewHist(*size, *bins, workloads.HistShared, 7)
+	case "hist-priv":
+		w = workloads.NewHist(*size, *bins, workloads.HistPrivCore, 7)
+	case "spmv":
+		w = workloads.NewSpMV(*size/16, 24, 5)
+	case "pgrank":
+		w = workloads.NewPgRank(12, 12, 2, 9)
+	case "bfs":
+		w = workloads.NewBFS(13, 10, 13)
+	case "fluid":
+		w = workloads.NewFluid(96, 96, 3, 17)
+	case "refcount":
+		w = workloads.NewRefCount(1024, *size/50, false, workloads.RefPlain, 21)
+	case "refcount-delayed":
+		w = workloads.NewRefCountDelayed(8192, 2, 300, workloads.DelayedCoup, 27)
+	case "counter":
+		w = workloads.NewRefCount(1, *size/50, true, workloads.RefPlain, 3)
+	default:
+		fmt.Fprintf(os.Stderr, "coupsim: unknown workload %q\n", *name)
+		os.Exit(2)
+	}
+
+	cfg := sim.DefaultConfig(*cores, pr)
+	cfg.Seed = *seed
+	st, err := workloads.Run(w, cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "coupsim: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s on %d cores under %v:\n%s\n", w.Name(), *cores, pr, st.String())
+}

@@ -1,0 +1,37 @@
+// BFS: graph traversal with a visited bitmap (Sec 4.2). The bitmap is
+// tested with ordinary loads and set with commutative ORs, so its lines
+// bounce between read-only and update-only modes — the finely-interleaved
+// pattern where software privatization is impractical but COUP still helps.
+//
+//	go run ./examples/bfs
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+func main() {
+	const cores = 64
+	fmt.Printf("parallel BFS over an R-MAT graph (2^13 vertices), %d cores\n\n", cores)
+
+	for _, p := range []sim.Protocol{sim.MESI, sim.MEUSI} {
+		w := workloads.NewBFS(13, 10, 13)
+		st, err := workloads.Run(w, sim.DefaultConfig(cores, p))
+		if err != nil {
+			panic(err)
+		}
+		label := "atomic-or bitmap (MESI)"
+		if p == sim.MEUSI {
+			label = "commutative-or bitmap (COUP)"
+		}
+		fmt.Printf("%-30s %9d cycles  %6d read/update mode switches\n",
+			label, st.Cycles, st.TypeSwitches)
+	}
+
+	fmt.Println("\nBFS levels validate exactly against a sequential traversal —")
+	fmt.Println("test-then-set races only cause benign duplicate visits, as the")
+	fmt.Println("paper notes for state-of-the-art implementations.")
+}

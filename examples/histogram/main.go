@@ -1,0 +1,47 @@
+// Histogram: the paper's motivating application (Fig 2). Builds a histogram
+// of 16-bit values on 64 simulated cores three ways — shared atomics,
+// software privatization, and COUP commutative adds — and shows the
+// privatization-vs-atomics tradeoff that COUP sidesteps.
+//
+//	go run ./examples/histogram
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+func main() {
+	const (
+		cores  = 64
+		pixels = 100_000
+	)
+	fmt.Printf("parallel histogram, %d input values, %d cores\n\n", pixels, cores)
+	fmt.Printf("%8s  %14s  %14s  %14s\n", "bins", "COUP", "atomics", "privatization")
+
+	for _, bins := range []int{64, 1024, 16384} {
+		row := [3]uint64{}
+		for i, cfg := range []struct {
+			proto sim.Protocol
+			mode  workloads.HistMode
+		}{
+			{sim.MEUSI, workloads.HistShared},
+			{sim.MESI, workloads.HistShared},
+			{sim.MESI, workloads.HistPrivCore},
+		} {
+			w := workloads.NewHist(pixels, bins, cfg.mode, 7)
+			st, err := workloads.Run(w, sim.DefaultConfig(cores, cfg.proto))
+			if err != nil {
+				panic(err)
+			}
+			row[i] = st.Cycles
+		}
+		fmt.Printf("%8d  %8d cyc  %8d cyc  %8d cyc\n", bins, row[0], row[1], row[2])
+	}
+
+	fmt.Println("\nprivatization wins over atomics at few bins and loses at many;")
+	fmt.Println("COUP outperforms both across the sweep (paper Fig 2). Every run")
+	fmt.Println("validates the exact bin counts against a sequential reference.")
+}

@@ -1,0 +1,44 @@
+// Quickstart: the paper's Fig 1 example — multiple cores adding to one
+// shared counter — run on the simulated 8-socket system under all three
+// schemes: conventional MESI atomics, remote memory operations, and COUP.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+func main() {
+	const (
+		cores    = 64
+		perCore  = 1000
+		protoFmt = "%-6s  %10d cycles  %8.1f cycles/update  %9d off-chip bytes\n"
+	)
+	fmt.Printf("Fig 1: %d cores each perform %d commutative adds to one counter\n\n", cores, perCore)
+
+	for _, p := range []sim.Protocol{sim.MESI, sim.RMO, sim.MEUSI} {
+		m := sim.New(sim.DefaultConfig(cores, p))
+		counter := m.Alloc(64, 64)
+		st := m.Run(func(c *sim.Ctx) {
+			for i := 0; i < perCore; i++ {
+				// One commutative-update instruction. Under MESI this runs
+				// as an atomic fetch-and-add; under RMO it is shipped to the
+				// line's home bank; under MEUSI (COUP) it is buffered and
+				// coalesced in the local cache.
+				c.CommAdd64(counter, 1)
+				c.Work(20)
+			}
+		})
+		if got := m.ReadWord64(counter); got != cores*perCore {
+			panic(fmt.Sprintf("%v: counter = %d, want %d", p, got, cores*perCore))
+		}
+		fmt.Printf(protoFmt, p, st.Cycles,
+			float64(st.Cycles)/perCore, st.OffChipBytes)
+	}
+
+	fmt.Println("\nCOUP keeps updates in the private caches (Fig 1c): same final")
+	fmt.Println("value, far fewer cycles and far less traffic than either baseline.")
+}

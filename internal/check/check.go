@@ -1,0 +1,128 @@
+// Package check is the repository's Murphi substitute: an explicit-state
+// model checker that exhaustively enumerates the reachable states of the
+// message-level protocols in internal/proto and validates their safety
+// invariants and deadlock freedom. It reproduces the verification
+// methodology of Sec 3.4 (Fig 8): breadth-first reachability over a
+// single-line model with self-eviction rules, bounded by a state budget
+// that stands in for Murphi's 16 GB memory limit.
+package check
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/proto"
+)
+
+// Result summarizes one verification run.
+type Result struct {
+	// States is the number of distinct reachable states visited.
+	States int
+	// Transitions is the number of state transitions explored.
+	Transitions int
+	// Depth is the BFS depth reached.
+	Depth int
+	// Capped reports that the state budget was exhausted before the space
+	// was fully explored (the analogue of Murphi running out of memory).
+	Capped bool
+	// TimedOut reports that the time budget expired first.
+	TimedOut bool
+	// Err is the first invariant violation or deadlock found, nil if the
+	// explored space is clean.
+	Err error
+	// Elapsed is the wall-clock verification time.
+	Elapsed time.Duration
+}
+
+// Verified reports whether the protocol was exhaustively verified clean.
+func (r Result) Verified() bool { return r.Err == nil && !r.Capped && !r.TimedOut }
+
+// String renders the result like a Murphi summary line.
+func (r Result) String() string {
+	status := "verified"
+	switch {
+	case r.Err != nil:
+		status = "VIOLATION: " + r.Err.Error()
+	case r.Capped:
+		status = "out of state budget"
+	case r.TimedOut:
+		status = "timed out"
+	}
+	return fmt.Sprintf("%d states, %d transitions, depth %d, %v: %s",
+		r.States, r.Transitions, r.Depth, r.Elapsed.Round(time.Millisecond), status)
+}
+
+// Verify exhaustively explores sy's reachable state space by BFS, checking
+// invariants at every state, up to maxStates distinct states and the given
+// time budget (0 means no limit).
+func Verify(sy *proto.System, maxStates int, timeout time.Duration) Result {
+	start := time.Now()
+	res := Result{}
+	if err := sy.Validate(); err != nil {
+		res.Err = err
+		return res
+	}
+	init := sy.Initial()
+	visited := map[string]struct{}{sy.Encode(&init): {}}
+	frontier := []proto.State{init}
+	deadline := time.Time{}
+	if timeout > 0 {
+		deadline = start.Add(timeout)
+	}
+
+	for len(frontier) > 0 {
+		var next []proto.State
+		for _, s := range frontier {
+			if !deadline.IsZero() && time.Now().After(deadline) {
+				res.TimedOut = true
+				res.States = len(visited)
+				res.Elapsed = time.Since(start)
+				return res
+			}
+			if err := sy.CheckInvariants(&s); err != nil {
+				res.Err = fmt.Errorf("depth %d: %w", res.Depth, err)
+				res.States = len(visited)
+				res.Elapsed = time.Since(start)
+				return res
+			}
+			evs := sy.Events(&s)
+			if len(evs) == 0 || sy.Deadlocked(&s) {
+				if !s.Quiescent(sy) {
+					res.Err = fmt.Errorf("depth %d: deadlock", res.Depth)
+					res.States = len(visited)
+					res.Elapsed = time.Since(start)
+					return res
+				}
+			}
+			for _, e := range evs {
+				ns, err := sy.Apply(s, e)
+				res.Transitions++
+				if err != nil {
+					res.Err = fmt.Errorf("depth %d, %v: %w", res.Depth, e, err)
+					res.States = len(visited)
+					res.Elapsed = time.Since(start)
+					return res
+				}
+				key := sy.Encode(&ns)
+				if _, ok := visited[key]; ok {
+					continue
+				}
+				if len(visited) >= maxStates {
+					res.Capped = true
+					res.States = len(visited)
+					res.Elapsed = time.Since(start)
+					return res
+				}
+				visited[key] = struct{}{}
+				next = append(next, ns)
+			}
+		}
+		frontier = next
+		if len(next) > 0 {
+			res.Depth++
+		}
+	}
+	res.States = len(visited)
+	res.Elapsed = time.Since(start)
+	return res
+}

@@ -1,0 +1,120 @@
+package check
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/proto"
+)
+
+func TestVerifyMESITwoCores(t *testing.T) {
+	sy := &proto.System{Kind: proto.MESI, NCores: 2}
+	r := Verify(sy, 5_000_000, 2*time.Minute)
+	if !r.Verified() {
+		t.Fatalf("MESI 2 cores not verified: %v", r)
+	}
+	if r.States < 100 {
+		t.Errorf("suspiciously small state space: %d", r.States)
+	}
+	t.Logf("MESI 2 cores: %v", r)
+}
+
+func TestVerifyMEUSITwoCoresOneOp(t *testing.T) {
+	sy := &proto.System{Kind: proto.MEUSI, NCores: 2, NOps: 1}
+	r := Verify(sy, 5_000_000, 2*time.Minute)
+	if !r.Verified() {
+		t.Fatalf("MEUSI 2 cores 1 op not verified: %v", r)
+	}
+	t.Logf("MEUSI 2x1: %v", r)
+}
+
+func TestVerifyMEUSITwoCoresTwoOps(t *testing.T) {
+	sy := &proto.System{Kind: proto.MEUSI, NCores: 2, NOps: 2}
+	r := Verify(sy, 5_000_000, 2*time.Minute)
+	if !r.Verified() {
+		t.Fatalf("MEUSI 2 cores 2 ops not verified: %v", r)
+	}
+	t.Logf("MEUSI 2x2: %v", r)
+}
+
+// TestVerifyCatchesInjectedBug: dropping partial updates on invalidation
+// acks must be found as a conservation violation — this is the test that
+// proves the checker can actually falsify protocols.
+func TestVerifyCatchesInjectedBug(t *testing.T) {
+	sy := &proto.System{Kind: proto.MEUSI, NCores: 2, NOps: 1, BugDropPartials: true}
+	r := Verify(sy, 5_000_000, 2*time.Minute)
+	if r.Err == nil {
+		t.Fatal("injected partial-dropping bug was not detected")
+	}
+	t.Logf("bug caught: %v", r.Err)
+}
+
+// TestVerifyLevel3 verifies the three-level models (externally-issued
+// invalidations and downgrades, Sec 3.4).
+func TestVerifyLevel3(t *testing.T) {
+	for _, sy := range []*proto.System{
+		{Kind: proto.MESI, NCores: 2, Level3: true},
+		{Kind: proto.MEUSI, NCores: 2, NOps: 1, Level3: true},
+	} {
+		r := Verify(sy, 5_000_000, 2*time.Minute)
+		if !r.Verified() {
+			t.Errorf("%v 3-level not verified: %v", sy.Kind, r)
+		}
+		t.Logf("%v 3-level: %v", sy.Kind, r)
+	}
+}
+
+// TestStateGrowthShape reproduces the Fig 8 observation in miniature:
+// verification cost grows much faster with cores than with the number of
+// commutative-update types.
+func TestStateGrowthShape(t *testing.T) {
+	states := func(cores, ops int) int {
+		sy := &proto.System{Kind: proto.MEUSI, NCores: cores, NOps: ops}
+		r := Verify(sy, 5_000_000, 2*time.Minute)
+		if r.Err != nil {
+			t.Fatalf("%d cores %d ops: %v", cores, ops, r)
+		}
+		return r.States
+	}
+	s21 := states(2, 1)
+	s22 := states(2, 2)
+	s31 := states(3, 1)
+	coreGrowth := float64(s31) / float64(s21)
+	opGrowth := float64(s22) / float64(s21)
+	t.Logf("2x1=%d 2x2=%d 3x1=%d (core growth %.1fx, op growth %.1fx)",
+		s21, s22, s31, coreGrowth, opGrowth)
+	if coreGrowth <= opGrowth {
+		t.Errorf("state space must grow faster with cores (%.1fx) than with op types (%.1fx)",
+			coreGrowth, opGrowth)
+	}
+}
+
+func TestVerifyCap(t *testing.T) {
+	sy := &proto.System{Kind: proto.MEUSI, NCores: 3, NOps: 2}
+	r := Verify(sy, 1000, time.Minute)
+	if !r.Capped {
+		t.Error("tiny state budget must cap")
+	}
+	if r.Verified() {
+		t.Error("capped run must not claim verification")
+	}
+}
+
+func TestVerifyRejectsBadConfig(t *testing.T) {
+	sy := &proto.System{Kind: proto.MESI, NCores: 0}
+	r := Verify(sy, 1000, time.Minute)
+	if r.Err == nil {
+		t.Error("invalid config must fail")
+	}
+}
+
+func TestResultString(t *testing.T) {
+	r := Result{States: 10, Transitions: 20, Depth: 3}
+	if r.String() == "" {
+		t.Error("empty result string")
+	}
+	r.Capped = true
+	if r.Verified() {
+		t.Error("capped is not verified")
+	}
+}

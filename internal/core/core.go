@@ -1,0 +1,501 @@
+// Package core implements the paper's primary contribution — the COUP
+// coherence-protocol extension — as stable-state protocol tables: the
+// baselines MSI and MESI, and their COUP extensions MUSI and MEUSI
+// (paper Figs. 4 and 6).
+//
+// A protocol here is the private-cache (L1/L2) stable-state transition
+// function: given the current state of a line and a request — issued either
+// by the cache's own core (gaining permissions) or by the directory on
+// behalf of another cache (losing permissions) — it yields the next stable
+// state and the set of protocol actions required (fetch, invalidate others,
+// write back, reduce, ...). Transient states and message-level races live in
+// internal/proto; the timing simulator in internal/sim executes transactions
+// atomically against these stable tables, which is the standard abstraction
+// for execution-driven microarchitectural simulation.
+//
+// COUP's key addition is the update-only state U: multiple caches may hold
+// U simultaneously for the same line under a single commutative-update
+// operation type, buffering partial updates locally. The generalized
+// formulation (Sec 3.4) unifies S and U into one non-exclusive state N
+// tagged with an operation type, under which a read is simply the
+// non-exclusive operation of type ops.Read.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/ops"
+)
+
+// State is a stable coherence state of a line in a private cache.
+type State uint8
+
+const (
+	// I: invalid — no permissions.
+	I State = iota
+	// S: shared, read-only. Multiple caches may hold S. In the generalized
+	// formulation S is N with operation type ops.Read.
+	S
+	// U: update-only under some commutative operation type. Multiple caches
+	// may hold U for the same line and the same type; each holds a partial
+	// update initialized to the identity element. U cannot satisfy reads.
+	U
+	// E: exclusive clean — sole copy, read permission, may silently upgrade
+	// to M on a write or commutative update (MESI/MEUSI only).
+	E
+	// M: modified — sole copy, full read/write/update permission.
+	M
+
+	numStates
+)
+
+func (s State) String() string {
+	switch s {
+	case I:
+		return "I"
+	case S:
+		return "S"
+	case U:
+		return "U"
+	case E:
+		return "E"
+	case M:
+		return "M"
+	}
+	return fmt.Sprintf("State(%d)", uint8(s))
+}
+
+// Valid reports whether s is a defined stable state.
+func (s State) Valid() bool { return s < numStates }
+
+// CanRead reports whether a line in s can satisfy a read locally.
+func (s State) CanRead() bool { return s == S || s == E || s == M }
+
+// CanWrite reports whether a line in s can satisfy a store locally.
+func (s State) CanWrite() bool { return s == M }
+
+// CanUpdate reports whether a line in s can satisfy a commutative update of
+// the type the line currently tracks. M and E hold the actual data and can
+// apply updates in place; U holds a partial update of the tracked type.
+// (E applies the update after a silent E→M upgrade.)
+func (s State) CanUpdate() bool { return s == U || s == E || s == M }
+
+// Exclusive reports whether s implies no other cache holds a valid copy.
+func (s State) Exclusive() bool { return s == E || s == M }
+
+// Req is the kind of request presented to the protocol.
+type Req uint8
+
+const (
+	// ReqR: read (load) from the local core.
+	ReqR Req = iota
+	// ReqW: write (store, or atomic read-modify-write) from the local core.
+	ReqW
+	// ReqC: commutative update from the local core; carries an ops.Type.
+	ReqC
+	// ReqInvOther: directory demands the line because another cache needs
+	// exclusive or conflicting permission — invalidate (S), or invalidate
+	// with partial-update reply (U), or invalidate with data writeback (M/E).
+	ReqInvOther
+	// ReqDownS: directory downgrades M/E to S because another cache issued a
+	// read (the owner writes data back and keeps a read-only copy).
+	ReqDownS
+	// ReqDownU: directory downgrades M/E to U because another cache issued a
+	// commutative update (Fig 5b: the owner writes its value back and
+	// restarts with an identity-element buffer).
+	ReqDownU
+	// ReqEvict: the cache evicts the line to make room (self-eviction).
+	ReqEvict
+
+	numReqs
+)
+
+func (r Req) String() string {
+	switch r {
+	case ReqR:
+		return "R"
+	case ReqW:
+		return "W"
+	case ReqC:
+		return "C"
+	case ReqInvOther:
+		return "Inv"
+	case ReqDownS:
+		return "DownS"
+	case ReqDownU:
+		return "DownU"
+	case ReqEvict:
+		return "Evict"
+	}
+	return fmt.Sprintf("Req(%d)", uint8(r))
+}
+
+// OwnRequest reports whether r is initiated by the cache's own core
+// (gaining permissions) rather than by the directory or a capacity eviction.
+func (r Req) OwnRequest() bool { return r == ReqR || r == ReqW || r == ReqC }
+
+// Action describes the protocol work a transition requires, beyond the
+// state change itself. Actions determine traffic and latency in the timing
+// simulator.
+type Action uint16
+
+const (
+	// ActFetch: request data/permission from the directory (a miss).
+	ActFetch Action = 1 << iota
+	// ActUpgrade: request permission only; the cache already holds data
+	// whose value remains usable (S→M upgrade). COUP's I/S→U transitions
+	// are ActFetch-class: the buffer restarts at the identity element and
+	// no data reply is needed, but the directory must still be consulted.
+	ActUpgrade
+	// ActInvOthers: the directory must invalidate all other sharers
+	// (read-only copies) before granting.
+	ActInvOthers
+	// ActReduceOthers: the directory must gather and reduce all other
+	// update-only copies (a full reduction) before granting.
+	ActReduceOthers
+	// ActDowngradeOwner: the directory must downgrade a remote M/E owner
+	// (fetch its data) before granting.
+	ActDowngradeOwner
+	// ActWBData: this cache sends its full data value to the directory
+	// (dirty writeback on eviction/invalidation/downgrade from M).
+	ActWBData
+	// ActWBPartial: this cache sends its partial update to the directory,
+	// where a reduction unit folds it into the shared copy (partial
+	// reduction, Fig 5c).
+	ActWBPartial
+	// ActInitIdentity: the line's local contents restart at the identity
+	// element of the request's operation type (entering U, Sec 3.1.2).
+	ActInitIdentity
+	// ActTypeSwitch: the line's non-exclusive operation type changes, which
+	// requires a full reduction/invalidation of all current sharers first
+	// (Sec 3.2, "multiple operations"; transient state NN in Fig 7b).
+	ActTypeSwitch
+)
+
+// Has reports whether a contains every action in mask.
+func (a Action) Has(mask Action) bool { return a&mask == mask }
+
+func (a Action) String() string {
+	names := []struct {
+		bit Action
+		s   string
+	}{
+		{ActFetch, "Fetch"}, {ActUpgrade, "Upgrade"}, {ActInvOthers, "InvOthers"},
+		{ActReduceOthers, "ReduceOthers"}, {ActDowngradeOwner, "DowngradeOwner"},
+		{ActWBData, "WBData"}, {ActWBPartial, "WBPartial"},
+		{ActInitIdentity, "InitIdentity"}, {ActTypeSwitch, "TypeSwitch"},
+	}
+	out := ""
+	for _, n := range names {
+		if a.Has(n.bit) {
+			if out != "" {
+				out += "+"
+			}
+			out += n.s
+		}
+	}
+	if out == "" {
+		return "none"
+	}
+	return out
+}
+
+// Kind selects one of the four protocols.
+type Kind uint8
+
+const (
+	MSI Kind = iota
+	MESI
+	MUSI
+	MEUSI
+)
+
+func (k Kind) String() string {
+	switch k {
+	case MSI:
+		return "MSI"
+	case MESI:
+		return "MESI"
+	case MUSI:
+		return "MUSI"
+	case MEUSI:
+		return "MEUSI"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// HasE reports whether the protocol includes the exclusive-clean E state.
+func (k Kind) HasE() bool { return k == MESI || k == MEUSI }
+
+// HasU reports whether the protocol includes COUP's update-only U state.
+func (k Kind) HasU() bool { return k == MUSI || k == MEUSI }
+
+// LineCtx is the directory-visible context of the transition: whether any
+// other cache holds a valid copy, and if the line is currently non-exclusive,
+// under which operation type.
+type LineCtx struct {
+	// OthersHaveCopy: at least one other private cache holds the line in a
+	// valid state (S/U/E/M). Determines E vs S (and M vs U) grants.
+	OthersHaveCopy bool
+	// OtherOwner: another cache holds the line in M or E.
+	OtherOwner bool
+	// CurType is the operation type the line's current non-exclusive sharers
+	// operate under (ops.Read if they hold read-only copies). Only
+	// meaningful when OthersHaveCopy && !OtherOwner.
+	CurType ops.Type
+}
+
+// Result of a stable-state transition.
+type Result struct {
+	Next    State
+	Actions Action
+	// NextType is the non-exclusive operation type the line tracks after the
+	// transition (meaningful when Next == S or U): ops.Read for S, the
+	// request's update type for U.
+	NextType ops.Type
+}
+
+// Transition computes the stable-state transition for protocol k, a line in
+// state s whose current non-exclusive type is curType (ops.Read when s==S;
+// the update type when s==U; ignored for I/E/M), receiving request r with
+// operation type t (only meaningful for ReqC and ReqDownU), in directory
+// context ctx.
+//
+// It panics on undefined combinations (e.g. ReqC under MSI/MESI — those
+// protocols express commutative updates as ReqW read-modify-writes; the
+// simulator never issues ReqC to them).
+func Transition(k Kind, s State, curType ops.Type, r Req, t ops.Type, ctx LineCtx) Result {
+	if !k.HasU() && (r == ReqC || r == ReqDownU) {
+		panic(fmt.Sprintf("coherence: %v does not support %v", k, r))
+	}
+	switch r {
+	case ReqR:
+		return transitionRead(k, s, curType, ctx)
+	case ReqW:
+		return transitionWrite(k, s, curType, ctx)
+	case ReqC:
+		return transitionUpdate(k, s, curType, t, ctx)
+	case ReqInvOther:
+		return transitionInv(s)
+	case ReqDownS:
+		return transitionDownS(s)
+	case ReqDownU:
+		return transitionDownU(s, t)
+	case ReqEvict:
+		return transitionEvict(s)
+	}
+	panic(fmt.Sprintf("coherence: unknown request %v", r))
+}
+
+func grantReadState(k Kind, ctx LineCtx) (State, Action) {
+	// MESI/MEUSI grant E when no other cache has a valid copy (Fig 6).
+	if k.HasE() && !ctx.OthersHaveCopy {
+		return E, 0
+	}
+	return S, 0
+}
+
+func transitionRead(k Kind, s State, curType ops.Type, ctx LineCtx) Result {
+	switch s {
+	case S, E, M:
+		// Hit; no transition (diagrams omit actions that cause none).
+		return Result{Next: s, NextType: ops.Read}
+	case U:
+		// A read from the local core while holding update-only permission:
+		// the partial update cannot satisfy it. A full reduction of all
+		// update-only copies (including this one) produces the value; the
+		// line switches to the read-only type. This is the U→S arc in Fig 4
+		// (request R in U) — a type switch in the generalized formulation.
+		next, act := grantReadState(k, LineCtx{OthersHaveCopy: ctx.OthersHaveCopy})
+		return Result{
+			Next:     next,
+			Actions:  ActFetch | ActWBPartial | ActReduceOthers | ActTypeSwitch | act,
+			NextType: ops.Read,
+		}
+	case I:
+		act := ActFetch
+		if ctx.OtherOwner {
+			act |= ActDowngradeOwner
+		} else if ctx.OthersHaveCopy && curTypeIsUpdate(ctx) {
+			// Other caches hold U copies: reading forces a full reduction
+			// (Fig 5d) and a type switch to read-only.
+			act |= ActReduceOthers | ActTypeSwitch
+		}
+		next, gact := grantReadState(k, ctx)
+		return Result{Next: next, Actions: act | gact, NextType: ops.Read}
+	}
+	panic(fmt.Sprintf("coherence: read in invalid state %v", s))
+}
+
+func curTypeIsUpdate(ctx LineCtx) bool { return ctx.CurType.IsUpdate() }
+
+func transitionWrite(k Kind, s State, curType ops.Type, ctx LineCtx) Result {
+	switch s {
+	case M:
+		return Result{Next: M}
+	case E:
+		// Silent upgrade.
+		return Result{Next: M}
+	case S:
+		// Upgrade: invalidate all other read-only sharers.
+		act := ActUpgrade
+		if ctx.OthersHaveCopy {
+			act |= ActInvOthers
+		}
+		return Result{Next: M, Actions: act}
+	case U:
+		// Writing while update-only: full reduction of every copy (ours
+		// included) must complete before the write, then exclusive grant.
+		return Result{
+			Next:    M,
+			Actions: ActFetch | ActWBPartial | ActReduceOthers | ActTypeSwitch,
+		}
+	case I:
+		act := ActFetch
+		if ctx.OtherOwner {
+			act |= ActDowngradeOwner | ActInvOthers
+		} else if ctx.OthersHaveCopy {
+			if curTypeIsUpdate(ctx) {
+				act |= ActReduceOthers | ActTypeSwitch
+			} else {
+				act |= ActInvOthers
+			}
+		}
+		return Result{Next: M, Actions: act}
+	}
+	panic(fmt.Sprintf("coherence: write in invalid state %v", s))
+}
+
+func transitionUpdate(k Kind, s State, curType ops.Type, t ops.Type, ctx LineCtx) Result {
+	if !t.IsUpdate() {
+		panic("coherence: ReqC with non-update type")
+	}
+	switch s {
+	case M:
+		// M satisfies commutative updates in place: interleaved private
+		// updates and reads stay as cheap as in MESI (Sec 3.1.1).
+		return Result{Next: M}
+	case E:
+		// Fig 6: commutative updates cause a silent E→M transition.
+		return Result{Next: M}
+	case U:
+		if curType == t {
+			// Hit: apply to the local partial buffer.
+			return Result{Next: U, NextType: t}
+		}
+		// Different update type: serialize via full reduction, then re-enter
+		// U under the new type (NN transient in the detailed protocol).
+		return Result{
+			Next:     U,
+			Actions:  ActFetch | ActWBPartial | ActReduceOthers | ActTypeSwitch | ActInitIdentity,
+			NextType: t,
+		}
+	case S:
+		// Fig 4: C request in S mirrors R request in U. Our read-only copy
+		// is dropped; we acquire update-only permission. If no other cache
+		// has a copy, MEUSI grants M directly (Fig 6).
+		if k.HasE() && !ctx.OthersHaveCopy {
+			return Result{Next: M, Actions: ActUpgrade}
+		}
+		act := ActFetch | ActInitIdentity
+		if ctx.OthersHaveCopy && !curTypeIsUpdate(ctx) {
+			act |= ActInvOthers | ActTypeSwitch
+		}
+		return Result{Next: U, Actions: act, NextType: t}
+	case I:
+		// MEUSI: update request on an unshared line is granted in M, the
+		// same optimization E provides for reads (Fig 6).
+		if k.HasE() && !ctx.OthersHaveCopy {
+			return Result{Next: M, Actions: ActFetch}
+		}
+		act := ActFetch | ActInitIdentity
+		if ctx.OtherOwner {
+			// Downgrade the remote owner M→U (Fig 5b).
+			act |= ActDowngradeOwner
+		} else if ctx.OthersHaveCopy {
+			if !curTypeIsUpdate(ctx) {
+				// Invalidate read-only copies (Fig 5a).
+				act |= ActInvOthers | ActTypeSwitch
+			} else if ctx.CurType != t {
+				act |= ActReduceOthers | ActTypeSwitch
+			}
+		}
+		return Result{Next: U, Actions: act, NextType: t}
+	}
+	panic(fmt.Sprintf("coherence: update in invalid state %v", s))
+}
+
+func transitionInv(s State) Result {
+	switch s {
+	case I:
+		return Result{Next: I}
+	case S:
+		return Result{Next: I}
+	case U:
+		// Invalidation of an update-only copy carries the partial update
+		// back to the reduction unit.
+		return Result{Next: I, Actions: ActWBPartial}
+	case E:
+		return Result{Next: I} // clean: no data needed (dir has it)
+	case M:
+		return Result{Next: I, Actions: ActWBData}
+	}
+	panic("unreachable")
+}
+
+func transitionDownS(s State) Result {
+	switch s {
+	case M:
+		return Result{Next: S, Actions: ActWBData}
+	case E:
+		return Result{Next: S}
+	case S:
+		return Result{Next: S}
+	}
+	panic(fmt.Sprintf("coherence: DownS in state %v", s))
+}
+
+func transitionDownU(s State, t ops.Type) Result {
+	switch s {
+	case M:
+		// Fig 5b: writeback the value, restart the local buffer at identity.
+		return Result{Next: U, Actions: ActWBData | ActInitIdentity, NextType: t}
+	case E:
+		return Result{Next: U, Actions: ActInitIdentity, NextType: t}
+	case U:
+		return Result{Next: U, NextType: t}
+	}
+	panic(fmt.Sprintf("coherence: DownU in state %v", s))
+}
+
+func transitionEvict(s State) Result {
+	switch s {
+	case I:
+		return Result{Next: I}
+	case S:
+		return Result{Next: I} // Table 1: no silent drops — notify dir
+	case E:
+		return Result{Next: I}
+	case U:
+		// Partial reduction at the shared cache (Fig 5c).
+		return Result{Next: I, Actions: ActWBPartial}
+	case M:
+		return Result{Next: I, Actions: ActWBData}
+	}
+	panic("unreachable")
+}
+
+// States returns the stable states protocol k uses, in a canonical order.
+func (k Kind) States() []State {
+	switch k {
+	case MSI:
+		return []State{I, S, M}
+	case MESI:
+		return []State{I, S, E, M}
+	case MUSI:
+		return []State{I, S, U, M}
+	case MEUSI:
+		return []State{I, S, U, E, M}
+	}
+	return nil
+}

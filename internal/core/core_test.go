@@ -1,0 +1,354 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ops"
+)
+
+func TestStateStringsAndPredicates(t *testing.T) {
+	for _, s := range []State{I, S, U, E, M} {
+		if !s.Valid() {
+			t.Fatalf("%v invalid", s)
+		}
+		if s.String() == "" {
+			t.Fatalf("empty name for %v", s)
+		}
+	}
+	if !M.CanRead() || !M.CanWrite() || !M.CanUpdate() {
+		t.Error("M must satisfy all request kinds")
+	}
+	if !E.CanRead() || E.CanWrite() || !E.CanUpdate() {
+		t.Error("E: read+update (silent upgrade), not write without upgrade")
+	}
+	if !S.CanRead() || S.CanWrite() || S.CanUpdate() {
+		t.Error("S: read-only")
+	}
+	if U.CanRead() || U.CanWrite() || !U.CanUpdate() {
+		t.Error("U: update-only; caches with U cannot satisfy reads")
+	}
+	if I.CanRead() || I.CanWrite() || I.CanUpdate() {
+		t.Error("I: nothing")
+	}
+	if !M.Exclusive() || !E.Exclusive() || S.Exclusive() || U.Exclusive() {
+		t.Error("exclusivity predicate wrong")
+	}
+}
+
+func TestKindPredicates(t *testing.T) {
+	if MSI.HasE() || MSI.HasU() || MESI.HasU() || !MESI.HasE() {
+		t.Error("baseline kind predicates wrong")
+	}
+	if !MUSI.HasU() || MUSI.HasE() || !MEUSI.HasU() || !MEUSI.HasE() {
+		t.Error("COUP kind predicates wrong")
+	}
+	wantStates := map[Kind]int{MSI: 3, MESI: 4, MUSI: 4, MEUSI: 5}
+	for k, n := range wantStates {
+		if got := len(k.States()); got != n {
+			t.Errorf("%v: %d states, want %d", k, got, n)
+		}
+	}
+}
+
+// TestMESIBasics checks the canonical MESI arcs.
+func TestMESIBasics(t *testing.T) {
+	// Read miss, line unshared: grant E.
+	r := Transition(MESI, I, ops.Read, ReqR, ops.Read, LineCtx{})
+	if r.Next != E || !r.Actions.Has(ActFetch) {
+		t.Errorf("I+R unshared: got %v/%v, want E/Fetch", r.Next, r.Actions)
+	}
+	// Read miss, line shared elsewhere: grant S.
+	r = Transition(MESI, I, ops.Read, ReqR, ops.Read, LineCtx{OthersHaveCopy: true})
+	if r.Next != S {
+		t.Errorf("I+R shared: got %v, want S", r.Next)
+	}
+	// Read miss with remote owner: downgrade the owner.
+	r = Transition(MESI, I, ops.Read, ReqR, ops.Read, LineCtx{OthersHaveCopy: true, OtherOwner: true})
+	if r.Next != S || !r.Actions.Has(ActDowngradeOwner) {
+		t.Errorf("I+R owned: got %v/%v", r.Next, r.Actions)
+	}
+	// Write in S: upgrade, invalidate others.
+	r = Transition(MESI, S, ops.Read, ReqW, ops.Read, LineCtx{OthersHaveCopy: true})
+	if r.Next != M || !r.Actions.Has(ActUpgrade|ActInvOthers) {
+		t.Errorf("S+W: got %v/%v", r.Next, r.Actions)
+	}
+	// Silent E->M.
+	r = Transition(MESI, E, ops.Read, ReqW, ops.Read, LineCtx{})
+	if r.Next != M || r.Actions != 0 {
+		t.Errorf("E+W: got %v/%v, want M/none (silent)", r.Next, r.Actions)
+	}
+	// MSI never grants E.
+	r = Transition(MSI, I, ops.Read, ReqR, ops.Read, LineCtx{})
+	if r.Next != S {
+		t.Errorf("MSI I+R: got %v, want S", r.Next)
+	}
+}
+
+// TestMEUSIUpdatePaths checks the U-state arcs from Figs. 4–6.
+func TestMEUSIUpdatePaths(t *testing.T) {
+	// Fig 6: update request on an unshared line is granted M directly.
+	r := Transition(MEUSI, I, ops.Read, ReqC, ops.AddI32, LineCtx{})
+	if r.Next != M {
+		t.Errorf("MEUSI I+C unshared: got %v, want M", r.Next)
+	}
+	// MUSI (no E): same request enters U.
+	r = Transition(MUSI, I, ops.Read, ReqC, ops.AddI32, LineCtx{})
+	if r.Next != U || !r.Actions.Has(ActInitIdentity) || r.NextType != ops.AddI32 {
+		t.Errorf("MUSI I+C: got %v/%v/%v", r.Next, r.Actions, r.NextType)
+	}
+	// Fig 5a: upgrade to U with other updaters present, same type: join them.
+	r = Transition(MEUSI, I, ops.Read, ReqC, ops.AddI32,
+		LineCtx{OthersHaveCopy: true, CurType: ops.AddI32})
+	if r.Next != U || !r.Actions.Has(ActInitIdentity) || r.Actions.Has(ActReduceOthers) {
+		t.Errorf("I+C join: got %v/%v", r.Next, r.Actions)
+	}
+	// Fig 5b: remote M owner downgraded to U.
+	r = Transition(MEUSI, I, ops.Read, ReqC, ops.AddI32,
+		LineCtx{OthersHaveCopy: true, OtherOwner: true})
+	if r.Next != U || !r.Actions.Has(ActDowngradeOwner) {
+		t.Errorf("I+C owned: got %v/%v", r.Next, r.Actions)
+	}
+	// The owner side of that downgrade: M -> U with writeback + identity.
+	r = Transition(MEUSI, M, ops.Read, ReqDownU, ops.AddI32, LineCtx{})
+	if r.Next != U || !r.Actions.Has(ActWBData|ActInitIdentity) || r.NextType != ops.AddI32 {
+		t.Errorf("M+DownU: got %v/%v", r.Next, r.Actions)
+	}
+	// Fig 5d: read while others hold U: full reduction.
+	r = Transition(MEUSI, I, ops.Read, ReqR, ops.Read,
+		LineCtx{OthersHaveCopy: true, CurType: ops.AddI32})
+	if r.Next != S || !r.Actions.Has(ActReduceOthers|ActTypeSwitch) {
+		t.Errorf("I+R vs updaters: got %v/%v", r.Next, r.Actions)
+	}
+	// Update hit in U (same type): no actions.
+	r = Transition(MEUSI, U, ops.AddI32, ReqC, ops.AddI32, LineCtx{OthersHaveCopy: true, CurType: ops.AddI32})
+	if r.Next != U || r.Actions != 0 {
+		t.Errorf("U+C same type: got %v/%v, want U/none", r.Next, r.Actions)
+	}
+	// Update in U with a different type: full reduction + type switch.
+	r = Transition(MEUSI, U, ops.AddI32, ReqC, ops.Or64, LineCtx{OthersHaveCopy: true, CurType: ops.AddI32})
+	if r.Next != U || !r.Actions.Has(ActReduceOthers|ActTypeSwitch) || r.NextType != ops.Or64 {
+		t.Errorf("U+C diff type: got %v/%v/%v", r.Next, r.Actions, r.NextType)
+	}
+	// M satisfies commutative updates in place (Sec 3.1.1).
+	r = Transition(MEUSI, M, ops.Read, ReqC, ops.AddF64, LineCtx{})
+	if r.Next != M || r.Actions != 0 {
+		t.Errorf("M+C: got %v/%v, want M/none", r.Next, r.Actions)
+	}
+	// Fig 6: E + C silently upgrades to M.
+	r = Transition(MEUSI, E, ops.Read, ReqC, ops.AddF64, LineCtx{})
+	if r.Next != M || r.Actions != 0 {
+		t.Errorf("E+C: got %v/%v, want M/none", r.Next, r.Actions)
+	}
+	// Eviction from U: partial reduction (Fig 5c).
+	r = Transition(MEUSI, U, ops.AddI32, ReqEvict, ops.Read, LineCtx{})
+	if r.Next != I || !r.Actions.Has(ActWBPartial) {
+		t.Errorf("U+Evict: got %v/%v", r.Next, r.Actions)
+	}
+	// Invalidation of U copy: partial update travels with the ack.
+	r = Transition(MEUSI, U, ops.AddI32, ReqInvOther, ops.Read, LineCtx{})
+	if r.Next != I || !r.Actions.Has(ActWBPartial) {
+		t.Errorf("U+Inv: got %v/%v", r.Next, r.Actions)
+	}
+	// Write while in U: reduction then M.
+	r = Transition(MEUSI, U, ops.AddI32, ReqW, ops.Read, LineCtx{OthersHaveCopy: true, CurType: ops.AddI32})
+	if r.Next != M || !r.Actions.Has(ActReduceOthers|ActWBPartial) {
+		t.Errorf("U+W: got %v/%v", r.Next, r.Actions)
+	}
+	// Read while in U (own core): reduction, then read-only grant.
+	r = Transition(MEUSI, U, ops.AddI32, ReqR, ops.Read, LineCtx{})
+	if r.Next != E || !r.Actions.Has(ActReduceOthers|ActWBPartial|ActTypeSwitch) {
+		t.Errorf("U+R alone: got %v/%v, want E", r.Next, r.Actions)
+	}
+	r = Transition(MEUSI, U, ops.AddI32, ReqR, ops.Read, LineCtx{OthersHaveCopy: true, CurType: ops.AddI32})
+	if r.Next != S {
+		t.Errorf("U+R shared: got %v, want S", r.Next)
+	}
+	// S + C with no other sharers: MEUSI grants M via upgrade.
+	r = Transition(MEUSI, S, ops.Read, ReqC, ops.AddI32, LineCtx{})
+	if r.Next != M {
+		t.Errorf("S+C alone: got %v, want M", r.Next)
+	}
+	// S + C with other readers: invalidate them, enter U.
+	r = Transition(MEUSI, S, ops.Read, ReqC, ops.AddI32, LineCtx{OthersHaveCopy: true, CurType: ops.Read})
+	if r.Next != U || !r.Actions.Has(ActInvOthers|ActInitIdentity) {
+		t.Errorf("S+C shared: got %v/%v", r.Next, r.Actions)
+	}
+}
+
+// TestSymmetrySU verifies the S/U symmetry the paper exploits (Sec 3.1.1):
+// in MUSI, transitions caused by R/C requests in and out of S match those
+// caused by C/R requests in and out of U — reads are just another
+// commutative operation type over the generalized non-exclusive state.
+func TestSymmetrySU(t *testing.T) {
+	const ut = ops.AddI64
+	cases := []struct {
+		name   string
+		a, b   Result
+		sameTo func(Result, Result) bool
+	}{
+		{
+			// I --R--> S (others read-only) vs I --C--> U (others same type)
+			name: "enter nonexclusive among same-type sharers",
+			a:    Transition(MUSI, I, ops.Read, ReqR, ops.Read, LineCtx{OthersHaveCopy: true, CurType: ops.Read}),
+			b:    Transition(MUSI, I, ops.Read, ReqC, ut, LineCtx{OthersHaveCopy: true, CurType: ut}),
+			sameTo: func(a, b Result) bool {
+				return a.Next == S && b.Next == U &&
+					!a.Actions.Has(ActInvOthers|ActReduceOthers) &&
+					!b.Actions.Has(ActInvOthers|ActReduceOthers)
+			},
+		},
+		{
+			// S --C--> U (invalidate readers) vs U --R--> S (reduce updaters)
+			name: "type switch across the S/U boundary",
+			a:    Transition(MUSI, S, ops.Read, ReqC, ut, LineCtx{OthersHaveCopy: true, CurType: ops.Read}),
+			b:    Transition(MUSI, U, ut, ReqR, ops.Read, LineCtx{OthersHaveCopy: true, CurType: ut}),
+			sameTo: func(a, b Result) bool {
+				// Both must displace the other-type sharers and land in the
+				// opposite non-exclusive state.
+				return a.Next == U && b.Next == S &&
+					a.Actions.Has(ActInvOthers) && b.Actions.Has(ActReduceOthers)
+			},
+		},
+		{
+			// M --DownS--> S vs M --DownU--> U: both write the value back.
+			name: "owner downgrade mirror",
+			a:    Transition(MUSI, M, ops.Read, ReqDownS, ops.Read, LineCtx{}),
+			b:    Transition(MUSI, M, ops.Read, ReqDownU, ut, LineCtx{}),
+			sameTo: func(a, b Result) bool {
+				return a.Next == S && b.Next == U &&
+					a.Actions.Has(ActWBData) && b.Actions.Has(ActWBData)
+			},
+		},
+	}
+	for _, c := range cases {
+		if !c.sameTo(c.a, c.b) {
+			t.Errorf("%s: a=%v/%v b=%v/%v", c.name, c.a.Next, c.a.Actions, c.b.Next, c.b.Actions)
+		}
+	}
+}
+
+// TestTransitionsTotal: every (protocol, state, own-request) combination the
+// protocol admits must produce a defined result with a valid next state —
+// the tables are total over their domains.
+func TestTransitionsTotal(t *testing.T) {
+	ctxs := []LineCtx{
+		{},
+		{OthersHaveCopy: true, CurType: ops.Read},
+		{OthersHaveCopy: true, CurType: ops.AddI32},
+		{OthersHaveCopy: true, OtherOwner: true},
+	}
+	for _, k := range []Kind{MSI, MESI, MUSI, MEUSI} {
+		for _, s := range k.States() {
+			for _, r := range []Req{ReqR, ReqW, ReqC, ReqInvOther, ReqEvict} {
+				if r == ReqC && !k.HasU() {
+					continue
+				}
+				curType := ops.Read
+				if s == U {
+					curType = ops.AddI32
+				}
+				for _, ctx := range ctxs {
+					res := Transition(k, s, curType, r, ops.AddI32, ctx)
+					if !res.Next.Valid() {
+						t.Errorf("%v %v %v: invalid next %v", k, s, r, res.Next)
+					}
+					if res.Next == U && !k.HasU() {
+						t.Errorf("%v produced U", k)
+					}
+					if res.Next == E && !k.HasE() {
+						t.Errorf("%v produced E", k)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestInvalidationAlwaysInvalidates: ReqInvOther from any valid state ends
+// in I, and carries data (M) or a partial update (U) with it.
+func TestInvalidationAlwaysInvalidates(t *testing.T) {
+	f := func(sRaw uint8) bool {
+		s := State(sRaw % uint8(numStates))
+		curType := ops.Read
+		if s == U {
+			curType = ops.Xor64
+		}
+		res := Transition(MEUSI, s, curType, ReqInvOther, ops.Read, LineCtx{})
+		if res.Next != I {
+			return false
+		}
+		if s == M && !res.Actions.Has(ActWBData) {
+			return false
+		}
+		if s == U && !res.Actions.Has(ActWBPartial) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestOwnRequestsGainPermission: after an own-core request completes, the
+// resulting state can satisfy that same request locally.
+func TestOwnRequestsGainPermission(t *testing.T) {
+	ctxs := []LineCtx{
+		{},
+		{OthersHaveCopy: true, CurType: ops.Read},
+		{OthersHaveCopy: true, CurType: ops.And64},
+		{OthersHaveCopy: true, OtherOwner: true},
+	}
+	for _, k := range []Kind{MSI, MESI, MUSI, MEUSI} {
+		for _, s := range k.States() {
+			curType := ops.Read
+			if s == U {
+				curType = ops.And64
+			}
+			for _, ctx := range ctxs {
+				if r := Transition(k, s, curType, ReqR, ops.Read, ctx); !r.Next.CanRead() {
+					t.Errorf("%v %v+R -> %v cannot read", k, s, r.Next)
+				}
+				if r := Transition(k, s, curType, ReqW, ops.Read, ctx); !r.Next.CanWrite() {
+					t.Errorf("%v %v+W -> %v cannot write", k, s, r.Next)
+				}
+				if k.HasU() {
+					if r := Transition(k, s, curType, ReqC, ops.And64, ctx); !r.Next.CanUpdate() {
+						t.Errorf("%v %v+C -> %v cannot update", k, s, r.Next)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestActionString(t *testing.T) {
+	a := ActFetch | ActReduceOthers
+	if a.String() != "Fetch+ReduceOthers" {
+		t.Errorf("got %q", a.String())
+	}
+	if Action(0).String() != "none" {
+		t.Errorf("zero action: %q", Action(0).String())
+	}
+}
+
+func TestReqStrings(t *testing.T) {
+	for _, r := range []Req{ReqR, ReqW, ReqC, ReqInvOther, ReqDownS, ReqDownU, ReqEvict} {
+		if r.String() == "" {
+			t.Errorf("empty name for req %d", r)
+		}
+	}
+	if !ReqR.OwnRequest() || !ReqC.OwnRequest() || ReqInvOther.OwnRequest() || ReqEvict.OwnRequest() {
+		t.Error("OwnRequest classification wrong")
+	}
+}
+
+func TestPanicsOnUnsupported(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MESI must reject ReqC")
+		}
+	}()
+	Transition(MESI, I, ops.Read, ReqC, ops.AddI32, LineCtx{})
+}

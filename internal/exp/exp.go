@@ -1,0 +1,172 @@
+// Package exp is the experiment harness: one runner per table and figure
+// in the paper's evaluation (Sec 5), each regenerating the corresponding
+// rows/series on the simulated system. Absolute cycle counts differ from
+// the paper's testbed (see DESIGN.md); the harness exists to reproduce the
+// *shape* of every result: who wins, by what factor, and where crossovers
+// fall. EXPERIMENTS.md records paper-vs-measured for each row.
+package exp
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workloads"
+)
+
+// Params scales experiments. Scale 1.0 is the full (already
+// simulation-sized) configuration; smaller values shrink inputs for quick
+// runs and benchmarks. Reps is the number of seeded repetitions per data
+// point (Alameldeen-Wood non-determinism injection); MaxCores caps the
+// core-count sweeps.
+type Params struct {
+	Scale    float64
+	Reps     int
+	MaxCores int
+	Verbose  bool
+}
+
+// DefaultParams returns the full-run parameters.
+func DefaultParams() Params {
+	return Params{Scale: 1.0, Reps: 1, MaxCores: 128}
+}
+
+func (p Params) scaleInt(n int) int {
+	v := int(float64(n) * p.Scale)
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+// coreSweep returns the paper's 1–128 core x-axis, capped by MaxCores.
+func (p Params) coreSweep() []int {
+	all := []int{1, 16, 32, 64, 96, 128}
+	var out []int
+	for _, c := range all {
+		if c <= p.MaxCores {
+			out = append(out, c)
+		}
+	}
+	if len(out) == 0 {
+		out = []int{1}
+	}
+	return out
+}
+
+// Experiment is one registered, named experiment.
+type Experiment struct {
+	ID   string
+	Desc string
+	Run  func(p Params) []*stats.Table
+}
+
+var registry []Experiment
+
+func register(id, desc string, run func(p Params) []*stats.Table) {
+	registry = append(registry, Experiment{ID: id, Desc: desc, Run: run})
+}
+
+// All returns every registered experiment, sorted by id.
+func All() []Experiment {
+	out := append([]Experiment(nil), registry...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ByID looks up one experiment.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// measure runs mk()'s workload reps times with different machine seeds and
+// returns the mean cycle count plus the last run's stats. It panics on
+// validation failures (an experiment must not silently report results from
+// a broken run).
+func measure(mk func() workloads.Workload, cores int, proto sim.Protocol, p Params) (float64, sim.Stats) {
+	var cycles []float64
+	var last sim.Stats
+	reps := p.Reps
+	if reps < 1 {
+		reps = 1
+	}
+	for r := 0; r < reps; r++ {
+		cfg := sim.DefaultConfig(cores, proto)
+		cfg.Seed = uint64(r + 1)
+		st, err := workloads.Run(mk(), cfg)
+		if err != nil {
+			panic(fmt.Sprintf("measure %d cores %v: %v", cores, proto, err))
+		}
+		cycles = append(cycles, float64(st.Cycles))
+		last = st
+	}
+	return stats.Mean(cycles), last
+}
+
+// The five applications (Table 2), sized for simulation at Scale 1.0.
+
+func histWorkload(p Params, bins int, mode workloads.HistMode) func() workloads.Workload {
+	pixels := p.scaleInt(240_000)
+	return func() workloads.Workload { return workloads.NewHist(pixels, bins, mode, 7) }
+}
+
+func spmvWorkload(p Params) func() workloads.Workload {
+	n := p.scaleInt(8000)
+	return func() workloads.Workload { return workloads.NewSpMV(n, 24, 5) }
+}
+
+func pgrankWorkload(p Params) func() workloads.Workload {
+	scale := 13
+	if p.Scale < 0.5 {
+		scale = 11
+	}
+	if p.Scale < 0.1 {
+		scale = 9
+	}
+	return func() workloads.Workload { return workloads.NewPgRank(scale, 12, 2, 9) }
+}
+
+func bfsWorkload(p Params) func() workloads.Workload {
+	scale := 14
+	if p.Scale < 0.5 {
+		scale = 12
+	}
+	if p.Scale < 0.1 {
+		scale = 10
+	}
+	return func() workloads.Workload { return workloads.NewBFS(scale, 10, 13) }
+}
+
+func fluidWorkload(p Params) func() workloads.Workload {
+	side := 128
+	if p.Scale < 0.5 {
+		side = 64
+	}
+	if p.Scale < 0.1 {
+		side = 32
+	}
+	return func() workloads.Workload { return workloads.NewFluid(side, side, 3, 17) }
+}
+
+// apps returns the Fig 10/11 application list with constructors.
+func apps(p Params) []struct {
+	Name string
+	Mk   func() workloads.Workload
+} {
+	return []struct {
+		Name string
+		Mk   func() workloads.Workload
+	}{
+		{"hist", histWorkload(p, 512, workloads.HistShared)},
+		{"spmv", spmvWorkload(p)},
+		{"pgrank", pgrankWorkload(p)},
+		{"bfs", bfsWorkload(p)},
+		{"fluidanimate", fluidWorkload(p)},
+	}
+}

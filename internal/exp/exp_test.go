@@ -1,0 +1,102 @@
+package exp
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+func tinyParams() Params {
+	return Params{Scale: 0.02, Reps: 1, MaxCores: 16}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	// Every figure and table of the paper's evaluation must have a runner.
+	want := []string{
+		"fig2", "fig8", "fig10", "fig11", "fig12",
+		"fig13a", "fig13b", "fig13c",
+		"sec55", "traffic", "table2", "ablation",
+	}
+	for _, id := range want {
+		if _, ok := ByID(id); !ok {
+			t.Errorf("experiment %q not registered", id)
+		}
+	}
+	if len(All()) != len(want) {
+		t.Errorf("registry has %d experiments, want %d", len(All()), len(want))
+	}
+	if _, ok := ByID("nonsense"); ok {
+		t.Error("bogus id must not resolve")
+	}
+}
+
+func TestCoreSweepRespectsCap(t *testing.T) {
+	p := DefaultParams()
+	p.MaxCores = 32
+	sweep := p.coreSweep()
+	for _, c := range sweep {
+		if c > 32 {
+			t.Errorf("sweep includes %d cores beyond the cap", c)
+		}
+	}
+	if len(sweep) != 3 { // 1, 16, 32
+		t.Errorf("sweep %v, want [1 16 32]", sweep)
+	}
+	p.MaxCores = 0
+	if got := p.coreSweep(); len(got) != 1 || got[0] != 1 {
+		t.Errorf("degenerate sweep %v", got)
+	}
+}
+
+func TestScaleInt(t *testing.T) {
+	p := Params{Scale: 0.1}
+	if p.scaleInt(1000) != 100 {
+		t.Error("scaleInt wrong")
+	}
+	if p.scaleInt(1) != 1 {
+		t.Error("scaleInt must floor at 1")
+	}
+}
+
+func TestMeasureValidatesAndAverages(t *testing.T) {
+	p := tinyParams()
+	p.Reps = 2
+	mk := func() workloads.Workload { return workloads.NewHist(2000, 64, workloads.HistShared, 1) }
+	mean, st := measure(mk, 4, sim.MEUSI, p)
+	if mean <= 0 || st.Cycles == 0 {
+		t.Fatal("measure returned nothing")
+	}
+}
+
+// TestEveryExperimentRunsTiny executes the whole registry at minuscule
+// scale: every runner must produce at least one non-empty table without
+// panicking (validation failures inside measure panic).
+func TestEveryExperimentRunsTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment")
+	}
+	p := tinyParams()
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tables := e.Run(p)
+			if len(tables) == 0 {
+				t.Fatal("no tables")
+			}
+			for _, tb := range tables {
+				if len(tb.Rows) == 0 {
+					t.Errorf("table %q has no rows", tb.Title)
+				}
+				if len(tb.Headers) == 0 {
+					t.Errorf("table %q has no headers", tb.Title)
+				}
+				for _, r := range tb.Rows {
+					if len(r) != len(tb.Headers) {
+						t.Errorf("table %q: row width %d != headers %d", tb.Title, len(r), len(tb.Headers))
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,225 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/check"
+	"repro/internal/proto"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workloads"
+)
+
+func init() {
+	register("fig8", "exhaustive verification cost of 2- and 3-level MESI/MEUSI vs cores and #commutative ops", fig8)
+	register("sec55", "sensitivity to reduction unit throughput (256-bit pipelined vs 64-bit unpipelined ALU)", sec55)
+	register("traffic", "Sec 5.2 off-chip traffic reduction of COUP over MESI at max cores", trafficExp)
+	register("table2", "Table 2/Sec 5.2: per-application op types, sequential run time, commutative-op fraction", table2)
+	register("ablation", "Fig 1 & design ablations: MESI vs RMO vs COUP; flat vs hierarchical reductions", ablation)
+}
+
+// fig8 reproduces Fig 8: reachable-state counts and verification times for
+// two- and three-level MESI and MEUSI as cores and commutative-update types
+// grow. The state budget stands in for Murphi's 16 GB memory limit.
+func fig8(p Params) []*stats.Table {
+	budget := int(float64(3_000_000) * p.Scale)
+	if budget < 20_000 {
+		budget = 20_000
+	}
+	timeout := time.Duration(float64(60*time.Second) * p.Scale)
+	if timeout < 2*time.Second {
+		timeout = 2 * time.Second
+	}
+	var tables []*stats.Table
+	for _, level3 := range []bool{false, true} {
+		levels := "two-level"
+		if level3 {
+			levels = "three-level"
+		}
+		t := &stats.Table{
+			Title:   "Fig 8 (" + levels + "): exhaustive verification cost",
+			Headers: []string{"protocol", "ops", "cores", "states", "time", "result"},
+		}
+		configs := []struct {
+			kind proto.Kind
+			ops  int
+		}{
+			{proto.MESI, 0},
+			{proto.MEUSI, 2},
+			{proto.MEUSI, 8},
+			{proto.MEUSI, 20},
+		}
+		for _, cfg := range configs {
+			for cores := 2; cores <= 6; cores++ {
+				sy := &proto.System{Kind: cfg.kind, NCores: cores, NOps: cfg.ops, Level3: level3}
+				r := check.Verify(sy, budget, timeout)
+				status := "verified"
+				if r.Err != nil {
+					status = "VIOLATION"
+				} else if r.Capped {
+					status = "out of budget"
+				} else if r.TimedOut {
+					status = "timeout"
+				}
+				t.AddRow(cfg.kind.String(), fmt.Sprint(cfg.ops), fmt.Sprint(cores),
+					fmt.Sprint(r.States), r.Elapsed.Round(time.Millisecond).String(), status)
+				if r.Capped || r.TimedOut {
+					break // larger core counts only get worse (paper: OOM)
+				}
+			}
+		}
+		t.AddNote("state budget %d (Murphi 16GB analogue), timeout %v per cell", budget, timeout)
+		tables = append(tables, t)
+	}
+	return tables
+}
+
+// sec55 reproduces the Sec 5.5 sensitivity study: the default 2-stage
+// pipelined 256-bit reduction ALU (1 line / 2 cycles) vs an unpipelined
+// 64-bit ALU (1 line / 16 cycles). The paper's worst case is a 0.88%
+// slowdown on bfs at 128 cores.
+func sec55(p Params) []*stats.Table {
+	cores := 64
+	if cores > p.MaxCores {
+		cores = p.MaxCores
+	}
+	t := &stats.Table{
+		Title:   fmt.Sprintf("Sec 5.5: reduction-unit throughput sensitivity (%d cores, COUP)", cores),
+		Headers: []string{"app", "fast ALU (cycles)", "slow ALU (cycles)", "slowdown %"},
+	}
+	run := func(mk func() workloads.Workload, slow bool) float64 {
+		cfg := sim.DefaultConfig(cores, sim.MEUSI)
+		cfg.Seed = 1
+		if slow {
+			cfg.ReduceCyclesPerLine = 16
+			cfg.ReduceLatency = 16
+		}
+		st, err := workloads.Run(mk(), cfg)
+		if err != nil {
+			panic(err)
+		}
+		return float64(st.Cycles)
+	}
+	for _, app := range apps(p) {
+		fast := run(app.Mk, false)
+		slow := run(app.Mk, true)
+		t.AddRow(app.Name, stats.F(fast), stats.F(slow), stats.F((slow-fast)/fast*100))
+	}
+	t.AddNote("paper: max degradation 0.88%% (bfs at 128 cores)")
+	return []*stats.Table{t}
+}
+
+// trafficExp reproduces the Sec 5.2 traffic numbers: COUP's off-chip
+// traffic reduction factors over MESI (paper at 128 cores: hist 20.2x,
+// spmv 1.18x, pgrank 4.9x, bfs 1.20x, fluidanimate 1.18x).
+func trafficExp(p Params) []*stats.Table {
+	cores := p.MaxCores
+	t := &stats.Table{
+		Title:   fmt.Sprintf("Sec 5.2: off-chip traffic at %d cores", cores),
+		Headers: []string{"app", "MESI bytes", "COUP bytes", "reduction x"},
+	}
+	for _, app := range apps(p) {
+		_, mesi := measure(app.Mk, cores, sim.MESI, p)
+		_, coup := measure(app.Mk, cores, sim.MEUSI, p)
+		t.AddRow(app.Name, fmt.Sprint(mesi.OffChipBytes), fmt.Sprint(coup.OffChipBytes),
+			stats.F(float64(mesi.OffChipBytes)/float64(coup.OffChipBytes)))
+	}
+	return []*stats.Table{t}
+}
+
+// table2 reproduces Table 2 plus the Sec 5.2 instruction-mix fractions.
+func table2(p Params) []*stats.Table {
+	t := &stats.Table{
+		Title:   "Table 2: benchmark characteristics (on synthetic substitute inputs)",
+		Headers: []string{"app", "comm ops", "seq run-time (Mcycles)", "comm-op fraction %"},
+	}
+	ops := map[string]string{
+		"hist": "32b int add", "spmv": "64b FP add", "pgrank": "64b int add",
+		"bfs": "64b OR", "fluidanimate": "32b FP add",
+	}
+	for _, app := range apps(p) {
+		_, st := measure(app.Mk, 1, sim.MEUSI, p)
+		t.AddRow(app.Name, ops[app.Name],
+			stats.F(float64(st.Cycles)/1e6),
+			stats.F(st.CommFraction()*100))
+	}
+	t.AddNote("paper (full inputs): hist 2720 / spmv 94 / fluidanimate 5930 / pgrank 2850 / bfs 5764 Mcycles")
+	t.AddNote("paper comm fractions at 128 cores: hist 1.0%%, spmv 2.4%%, pgrank 4.9%%, bfs 0.40%%, fluidanimate 0.96%%")
+	return []*stats.Table{t}
+}
+
+// ablation covers the Fig 1 comparison and the design ablations DESIGN.md
+// calls out: remote memory operations vs COUP, and flat vs hierarchical
+// reductions.
+func ablation(p Params) []*stats.Table {
+	var tables []*stats.Table
+
+	// Fig 1: a single contended counter under the three schemes.
+	updates := p.scaleInt(2000)
+	counter := &stats.Table{
+		Title:   "Fig 1 ablation: contended shared counter (cycles, lower is better)",
+		Headers: []string{"cores", "MESI (a)", "RMO (b)", "COUP (c)", "COUP vs MESI", "COUP vs RMO"},
+	}
+	mk := func() workloads.Workload {
+		return workloads.NewRefCount(8, updates, true, workloads.RefPlain, 3)
+	}
+	for _, c := range []int{16, 64} {
+		if c > p.MaxCores {
+			continue
+		}
+		mesi, _ := measure(mk, c, sim.MESI, p)
+		rmo, _ := measure(mk, c, sim.RMO, p)
+		coup, _ := measure(mk, c, sim.MEUSI, p)
+		counter.AddRow(fmt.Sprint(c), stats.F(mesi), stats.F(rmo), stats.F(coup),
+			stats.F(mesi/coup), stats.F(rmo/coup))
+	}
+	tables = append(tables, counter)
+
+	// E-state ablation: MUSI (Fig 4) vs MEUSI (Fig 6) — what the
+	// exclusive-clean optimization buys for update-then-read patterns.
+	eTable := &stats.Table{
+		Title:   "Ablation: E-state optimization (MUSI vs MEUSI, cycles)",
+		Headers: []string{"cores", "MUSI", "MEUSI", "MEUSI gain %"},
+	}
+	for _, c := range []int{16, 64} {
+		if c > p.MaxCores {
+			continue
+		}
+		musi, _ := measure(mk, c, sim.MUSI, p)
+		meusi, _ := measure(mk, c, sim.MEUSI, p)
+		eTable.AddRow(fmt.Sprint(c), stats.F(musi), stats.F(meusi),
+			stats.F((musi-meusi)/musi*100))
+	}
+	tables = append(tables, eTable)
+
+	// Hierarchical vs flat reductions (Sec 3.2).
+	cores := p.MaxCores
+	hier := &stats.Table{
+		Title:   fmt.Sprintf("Ablation: hierarchical vs flat reductions (%d cores, COUP)", cores),
+		Headers: []string{"app", "hierarchical (cycles)", "flat (cycles)", "flat slowdown %"},
+	}
+	for _, app := range []struct {
+		Name string
+		Mk   func() workloads.Workload
+	}{
+		{"hist", histWorkload(p, 512, workloads.HistShared)},
+		{"bfs", bfsWorkload(p)},
+	} {
+		run := func(flat bool) float64 {
+			cfg := sim.DefaultConfig(cores, sim.MEUSI)
+			cfg.Seed = 1
+			cfg.FlatReductions = flat
+			st, err := workloads.Run(app.Mk(), cfg)
+			if err != nil {
+				panic(err)
+			}
+			return float64(st.Cycles)
+		}
+		h := run(false)
+		f := run(true)
+		hier.AddRow(app.Name, stats.F(h), stats.F(f), stats.F((f-h)/h*100))
+	}
+	tables = append(tables, hier)
+	return tables
+}

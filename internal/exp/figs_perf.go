@@ -1,0 +1,197 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workloads"
+)
+
+func init() {
+	register("fig2", "hist relative performance vs #bins (COUP, MESI atomics, MESI software privatization) at 64 cores", fig2)
+	register("fig10", "per-application speedups of COUP and MESI on 1-128 cores", fig10)
+	register("fig11", "AMAT breakdown of COUP and MESI at 8/32/128 cores", fig11)
+	register("fig12", "hist: COUP vs core- and socket-level privatization, 512 and 16K bins", fig12)
+	register("fig13a", "reference counting, immediate dealloc, low count: COUP vs SNZI vs XADD", fig13a)
+	register("fig13b", "reference counting, immediate dealloc, high count: COUP vs SNZI vs XADD", fig13b)
+	register("fig13c", "reference counting, delayed dealloc: COUP vs Refcache vs updates/epoch", fig13c)
+}
+
+// fig2 reproduces Fig 2: all schemes process a fixed input; performance is
+// reported relative to COUP at 32 bins (higher is better). The paper's
+// shape: privatization wins at few bins, atomics at many bins, COUP beats
+// both across the range.
+func fig2(p Params) []*stats.Table {
+	cores := 64
+	if cores > p.MaxCores {
+		cores = p.MaxCores
+	}
+	bins := []int{32, 128, 512, 2048, 8192, 32768}
+	t := &stats.Table{
+		Title:   fmt.Sprintf("Fig 2: hist relative performance vs bins (%d cores)", cores),
+		Headers: []string{"bins", "COUP", "MESI-atomics", "MESI-sw-privatization"},
+	}
+	var base float64
+	for i, b := range bins {
+		coup, _ := measure(histWorkload(p, b, workloads.HistShared), cores, sim.MEUSI, p)
+		atom, _ := measure(histWorkload(p, b, workloads.HistShared), cores, sim.MESI, p)
+		priv, _ := measure(histWorkload(p, b, workloads.HistPrivCore), cores, sim.MESI, p)
+		if i == 0 {
+			base = coup
+		}
+		t.AddRow(fmt.Sprint(b), stats.F(base/coup), stats.F(base/atom), stats.F(base/priv))
+	}
+	t.AddNote("performance relative to COUP at 32 bins; higher is better (paper Fig 2)")
+	return []*stats.Table{t}
+}
+
+// fig10 reproduces Fig 10: per-application speedups over the application's
+// single-core MESI run.
+func fig10(p Params) []*stats.Table {
+	var tables []*stats.Table
+	for _, app := range apps(p) {
+		t := &stats.Table{
+			Title:   "Fig 10: " + app.Name + " speedup (vs 1-core MESI)",
+			Headers: []string{"cores", "MESI", "COUP", "COUP/MESI"},
+		}
+		base, _ := measure(app.Mk, 1, sim.MESI, p)
+		for _, c := range p.coreSweep() {
+			mesi, _ := measure(app.Mk, c, sim.MESI, p)
+			coup, _ := measure(app.Mk, c, sim.MEUSI, p)
+			t.AddRow(fmt.Sprint(c), stats.F(base/mesi), stats.F(base/coup), stats.F(mesi/coup))
+		}
+		tables = append(tables, t)
+	}
+	return tables
+}
+
+// fig11 reproduces Fig 11: the average memory access time decomposition,
+// normalized to COUP's AMAT at 8 cores (lower is better).
+func fig11(p Params) []*stats.Table {
+	var tables []*stats.Table
+	sizes := []int{8, 32, 128}
+	for _, app := range apps(p) {
+		t := &stats.Table{
+			Title:   "Fig 11: " + app.Name + " AMAT breakdown (normalized to COUP @ 8 cores)",
+			Headers: []string{"cores", "proto", "total", "L2", "L3", "net", "L4inval", "L4", "mem"},
+		}
+		var norm float64
+		for _, c := range sizes {
+			if c > p.MaxCores {
+				continue
+			}
+			for _, proto := range []sim.Protocol{sim.MEUSI, sim.MESI} {
+				_, st := measure(app.Mk, c, proto, p)
+				b := st.AMATBreakdown()
+				amat := st.AMAT()
+				if norm == 0 {
+					norm = amat // first row: COUP at the smallest size
+				}
+				t.AddRow(fmt.Sprint(c), protoName(proto),
+					stats.F(amat/norm),
+					stats.F((b[1])/norm), stats.F(b[2]/norm), stats.F(b[3]/norm),
+					stats.F(b[4]/norm), stats.F(b[5]/norm), stats.F(b[6]/norm))
+			}
+		}
+		tables = append(tables, t)
+	}
+	return tables
+}
+
+func protoName(pr sim.Protocol) string {
+	if pr == sim.MEUSI {
+		return "COUP"
+	}
+	return pr.String()
+}
+
+// fig12 reproduces Fig 12: hist as an explicit reduction variable, COUP vs
+// core-level and socket-level privatization, at 512 and 16K bins.
+func fig12(p Params) []*stats.Table {
+	var tables []*stats.Table
+	for _, bins := range []int{512, 16384} {
+		t := &stats.Table{
+			Title:   fmt.Sprintf("Fig 12: hist privatization comparison, %d bins (speedup vs 1-core COUP)", bins),
+			Headers: []string{"cores", "COUP", "core-priv", "socket-priv"},
+		}
+		base, _ := measure(histWorkload(p, bins, workloads.HistShared), 1, sim.MEUSI, p)
+		for _, c := range p.coreSweep() {
+			coup, _ := measure(histWorkload(p, bins, workloads.HistShared), c, sim.MEUSI, p)
+			core, _ := measure(histWorkload(p, bins, workloads.HistPrivCore), c, sim.MESI, p)
+			sock, _ := measure(histWorkload(p, bins, workloads.HistPrivSocket), c, sim.MESI, p)
+			t.AddRow(fmt.Sprint(c), stats.F(base/coup), stats.F(base/core), stats.F(base/sock))
+		}
+		tables = append(tables, t)
+	}
+	return tables
+}
+
+func refcountImmediate(p Params, high bool, title string) []*stats.Table {
+	// The paper runs 1M updates/thread over 1024 counters; updates must be
+	// several times the counter pool so that high-count mode actually
+	// accumulates per-thread surpluses (which is what lets SNZI stop
+	// propagating to the root).
+	updates := p.scaleInt(8192)
+	counters := 1024
+	mk := func() workloads.Workload {
+		return workloads.NewRefCount(counters, updates, high, workloads.RefPlain, 21)
+	}
+	mkSnzi := func() workloads.Workload {
+		return workloads.NewRefCount(counters, updates, high, workloads.RefSNZI, 21)
+	}
+	t := &stats.Table{
+		Title:   title,
+		Headers: []string{"cores", "XADD", "COUP", "SNZI"},
+	}
+	base, _ := measure(mk, 1, sim.MESI, p)
+	// Each thread performs a fixed number of updates, so the figure's
+	// speedup is aggregate throughput relative to one XADD thread.
+	for _, c := range p.coreSweep() {
+		fc := float64(c)
+		xadd, _ := measure(mk, c, sim.MESI, p)
+		coup, _ := measure(mk, c, sim.MEUSI, p)
+		snzi, _ := measure(mkSnzi, c, sim.MESI, p)
+		t.AddRow(fmt.Sprint(c), stats.F(fc*base/xadd), stats.F(fc*base/coup), stats.F(fc*base/snzi))
+	}
+	t.AddNote("throughput speedup vs 1-core XADD; %d counters, %d updates/thread", counters, updates)
+	return []*stats.Table{t}
+}
+
+func fig13a(p Params) []*stats.Table {
+	return refcountImmediate(p, false, "Fig 13a: refcount immediate dealloc, low count")
+}
+
+func fig13b(p Params) []*stats.Table {
+	return refcountImmediate(p, true, "Fig 13b: refcount immediate dealloc, high count")
+}
+
+// fig13c reproduces Fig 13c: delayed deallocation, performance (updates per
+// kilocycle) as updates/epoch grows.
+func fig13c(p Params) []*stats.Table {
+	cores := p.MaxCores
+	if cores > 128 {
+		cores = 128
+	}
+	counters := p.scaleInt(8192)
+	epochs := 2
+	t := &stats.Table{
+		Title:   fmt.Sprintf("Fig 13c: refcount delayed dealloc (%d threads, %d counters)", cores, counters),
+		Headers: []string{"updates/epoch", "COUP", "Refcache", "COUP/Refcache"},
+	}
+	for _, upe := range []int{10, 50, 100, 300, 1000} {
+		upe := p.scaleInt(upe)
+		mkCoup := func() workloads.Workload {
+			return workloads.NewRefCountDelayed(counters, epochs, upe, workloads.DelayedCoup, 27)
+		}
+		mkRC := func() workloads.Workload {
+			return workloads.NewRefCountDelayed(counters, epochs, upe, workloads.DelayedRefcache, 27)
+		}
+		coup, _ := measure(mkCoup, cores, sim.MEUSI, p)
+		rc, _ := measure(mkRC, cores, sim.MESI, p)
+		work := float64(upe * epochs * cores)
+		t.AddRow(fmt.Sprint(upe), stats.F(work/coup*1000), stats.F(work/rc*1000), stats.F(rc/coup))
+	}
+	t.AddNote("performance in updates per kilocycle (higher is better); paper reports COUP up to 2.3x over Refcache")
+	return []*stats.Table{t}
+}

@@ -1,0 +1,213 @@
+package gen
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	if NewRNG(1).Next() == NewRNG(2).Next() {
+		t.Error("different seeds collided immediately")
+	}
+}
+
+func TestRNGRanges(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 1000; i++ {
+		if v := r.Intn(10); v < 0 || v >= 10 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		if f := r.Float64(); f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+	if NewRNG(1).Intn(0) != 0 {
+		t.Error("Intn(0) must be 0")
+	}
+}
+
+func TestImageSkew(t *testing.T) {
+	uniform := Image(100000, 0, 1)
+	skewed := Image(100000, 0.7, 1)
+	entropyish := func(px []uint8) int {
+		var hist [256]int
+		for _, p := range px {
+			hist[p]++
+		}
+		// Count bins holding >2x the uniform share: skew indicator.
+		over := 0
+		for _, c := range hist {
+			if c > 2*len(px)/256 {
+				over++
+			}
+		}
+		return over
+	}
+	if entropyish(skewed) <= entropyish(uniform) {
+		t.Error("skewed image is not more concentrated than uniform")
+	}
+	if len(uniform) != 100000 {
+		t.Error("wrong length")
+	}
+	// Determinism.
+	again := Image(1000, 0.5, 99)
+	again2 := Image(1000, 0.5, 99)
+	for i := range again {
+		if again[i] != again2[i] {
+			t.Fatal("image generation not deterministic")
+		}
+	}
+}
+
+func TestSparseMatrixWellFormed(t *testing.T) {
+	m := SparseMatrix(2000, 24, 3)
+	if m.Rows != 2000 || m.Cols != 2000 {
+		t.Fatal("dimensions")
+	}
+	if len(m.ColPtr) != m.Cols+1 {
+		t.Fatal("colptr length")
+	}
+	if m.ColPtr[0] != 0 || int(m.ColPtr[m.Cols]) != m.NNZ() {
+		t.Fatal("colptr bounds")
+	}
+	for j := 0; j < m.Cols; j++ {
+		if m.ColPtr[j] > m.ColPtr[j+1] {
+			t.Fatalf("colptr not monotone at %d", j)
+		}
+		seen := map[int32]bool{}
+		for k := m.ColPtr[j]; k < m.ColPtr[j+1]; k++ {
+			i := m.RowIdx[k]
+			if i < 0 || int(i) >= m.Rows {
+				t.Fatalf("row index %d out of range", i)
+			}
+			if seen[i] {
+				t.Fatalf("duplicate entry (%d,%d)", i, j)
+			}
+			seen[i] = true
+			if m.Val[k] <= 0 {
+				t.Fatalf("nonpositive value at %d", k)
+			}
+		}
+	}
+	// Average degree near request.
+	avg := float64(m.NNZ()) / float64(m.Cols)
+	if avg < 12 || avg > 40 {
+		t.Errorf("average nnz/col %.1f implausible for request 24", avg)
+	}
+	// Banded structure: most entries near the diagonal.
+	near := 0
+	band := 2000 / 64 * 3
+	for j := 0; j < m.Cols; j++ {
+		for k := m.ColPtr[j]; k < m.ColPtr[j+1]; k++ {
+			d := int(m.RowIdx[k]) - j
+			if d < 0 {
+				d = -d
+			}
+			if d <= band {
+				near++
+			}
+		}
+	}
+	if float64(near)/float64(m.NNZ()) < 0.6 {
+		t.Errorf("only %.0f%% of entries near the diagonal; rma10-like banding missing",
+			100*float64(near)/float64(m.NNZ()))
+	}
+}
+
+func TestRMATWellFormedAndSkewed(t *testing.T) {
+	g := RMAT(12, 8, 5)
+	if g.N != 4096 {
+		t.Fatal("vertex count")
+	}
+	if g.Off[0] != 0 || int(g.Off[g.N]) != g.M() {
+		t.Fatal("offsets")
+	}
+	for i := 0; i < g.N; i++ {
+		if g.Off[i] > g.Off[i+1] {
+			t.Fatalf("offset not monotone at %d", i)
+		}
+		if g.Off[i+1]-g.Off[i] != g.OutDeg[i] {
+			t.Fatalf("degree mismatch at %d", i)
+		}
+	}
+	for _, d := range g.Dst {
+		if d < 0 || int(d) >= g.N {
+			t.Fatalf("dst %d out of range", d)
+		}
+	}
+	// Power-law skew: max degree far above average.
+	avg := float64(g.M()) / float64(g.N)
+	if float64(g.MaxDegree()) < 8*avg {
+		t.Errorf("max degree %d vs avg %.1f: not power-law-ish", g.MaxDegree(), avg)
+	}
+}
+
+func TestRMATDeterministic(t *testing.T) {
+	a := RMAT(10, 4, 9)
+	b := RMAT(10, 4, 9)
+	if a.M() != b.M() {
+		t.Fatal("edge counts differ")
+	}
+	for i := range a.Dst {
+		if a.Dst[i] != b.Dst[i] {
+			t.Fatal("graphs differ")
+		}
+	}
+}
+
+func TestFluidSmooth(t *testing.T) {
+	g := Fluid(64, 64, 11)
+	if len(g.Density) != 64*64 {
+		t.Fatal("size")
+	}
+	// Smoothness: neighbour deltas are small relative to the global range.
+	var mn, mx float32 = g.Density[0], g.Density[0]
+	var maxDelta float32
+	for y := 0; y < 64; y++ {
+		for x := 0; x < 64; x++ {
+			v := g.Density[y*64+x]
+			if v < mn {
+				mn = v
+			}
+			if v > mx {
+				mx = v
+			}
+			if x > 0 {
+				d := v - g.Density[y*64+x-1]
+				if d < 0 {
+					d = -d
+				}
+				if d > maxDelta {
+					maxDelta = d
+				}
+			}
+		}
+	}
+	if mx <= mn {
+		t.Fatal("flat field")
+	}
+	if maxDelta > (mx-mn)/2 {
+		t.Errorf("field not smooth: max delta %v vs range %v", maxDelta, mx-mn)
+	}
+}
+
+func TestRMATPropertyEdgesInRange(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := RMAT(8, 4, seed%100+1)
+		for _, d := range g.Dst {
+			if d < 0 || int(d) >= g.N {
+				return false
+			}
+		}
+		return int(g.Off[g.N]) == g.M()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

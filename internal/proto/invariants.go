@@ -1,0 +1,170 @@
+package proto
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ownershipMsg reports whether m carries the line's authoritative value
+// (exclusive ownership in flight).
+func ownershipMsg(m *Msg) bool {
+	switch m.Kind {
+	case MDataM, MPutM:
+		return true
+	case MInvAck, MDownAck:
+		return m.Flag
+	}
+	return false
+}
+
+// CheckInvariants validates the COUP safety properties on s:
+// single-authoritative-copy, non-exclusive type uniformity, and value
+// conservation (authoritative value plus outstanding partials equals the
+// ghost value). The data-value property is checked inline by Apply at read
+// hits and read grants.
+func (sy *System) CheckInvariants(s *State) error {
+	owners := 0
+	auth := s.Dir.LLC
+	for c := 0; c < sy.NCores; c++ {
+		if s.L1[c].St == L1E || s.L1[c].St == L1M {
+			owners++
+			auth = s.L1[c].Val
+		}
+	}
+	for i := range s.Net {
+		if ownershipMsg(&s.Net[i]) {
+			owners++
+			auth = s.Net[i].Val
+		}
+	}
+	if owners > 1 {
+		return fmt.Errorf("%d authoritative copies", owners)
+	}
+
+	// Non-exclusive copies must coexist under a single operation type, and
+	// never alongside an exclusive cache copy.
+	curType := -1
+	nonExcl := 0
+	for c := 0; c < sy.NCores; c++ {
+		if s.L1[c].St != L1N {
+			continue
+		}
+		nonExcl++
+		t := int(s.L1[c].T)
+		if curType == -1 {
+			curType = t
+		} else if curType != t {
+			return fmt.Errorf("mixed non-exclusive types %d and %d", curType, t)
+		}
+	}
+	for c := 0; c < sy.NCores; c++ {
+		if (s.L1[c].St == L1E || s.L1[c].St == L1M) && nonExcl > 0 {
+			return fmt.Errorf("core %d exclusive while %d non-exclusive copies exist", c, nonExcl)
+		}
+	}
+
+	// Conservation: every applied update is somewhere — in the
+	// authoritative value, a cache's partial buffer, or an in-flight
+	// partial.
+	sum := auth
+	for c := 0; c < sy.NCores; c++ {
+		l := &s.L1[c]
+		switch l.St {
+		case L1N:
+			if l.T > 0 {
+				sum = (sum + l.Val) & 3
+			}
+		case L1NN, L1NM:
+			if l.OldT > 0 {
+				sum = (sum + l.Val) & 3
+			}
+		}
+	}
+	for i := range s.Net {
+		if s.Net[i].Part {
+			sum = (sum + s.Net[i].Val) & 3
+		}
+	}
+	sum = (sum + s.Dir.PendPart) & 3
+	if sum != s.Ghost {
+		return fmt.Errorf("conservation: accounted %d, ghost %d", sum, s.Ghost)
+	}
+	return nil
+}
+
+// Encode produces a canonical, hashable key for s (messages are order-
+// normalized because the networks are unordered).
+func (sy *System) Encode(s *State) string {
+	b := make([]byte, 0, 5*sy.NCores+13+6*len(s.Net))
+	for c := 0; c < sy.NCores; c++ {
+		l := &s.L1[c]
+		b = append(b, byte(l.St), l.T, l.OldT, l.Val, byte(l.Pend))
+	}
+	d := &s.Dir
+	og := byte(0)
+	if d.OwnerGone {
+		og = 1
+	}
+	b = append(b, byte(d.St), d.T, byte(d.Sharers), byte(d.Sharers>>8),
+		byte(d.Owner), d.LLC, byte(d.Req), byte(d.ReqOp), d.Acks, d.Ext, og,
+		d.PendPart, s.Ghost)
+	msgs := append([]Msg(nil), s.Net...)
+	sort.Slice(msgs, func(i, j int) bool { return msgKey(&msgs[i]) < msgKey(&msgs[j]) })
+	for i := range msgs {
+		m := &msgs[i]
+		var fl byte
+		if m.Flag {
+			fl |= 1
+		}
+		if m.Part {
+			fl |= 2
+		}
+		b = append(b, byte(m.Kind), byte(m.Src), byte(m.Dst), m.T, m.Val, fl)
+	}
+	return string(b)
+}
+
+func msgKey(m *Msg) uint64 {
+	k := uint64(m.Kind)
+	k = k<<8 | uint64(uint8(m.Src))
+	k = k<<8 | uint64(uint8(m.Dst))
+	k = k<<8 | uint64(m.T)
+	k = k<<8 | uint64(m.Val)
+	if m.Flag {
+		k = k<<1 | 1
+	} else {
+		k <<= 1
+	}
+	if m.Part {
+		k = k<<1 | 1
+	} else {
+		k <<= 1
+	}
+	return k
+}
+
+// Deadlocked reports whether s can never make progress: some controller is
+// mid-transaction but no message can be delivered.
+func (sy *System) Deadlocked(s *State) bool {
+	stuck := false
+	for c := 0; c < sy.NCores; c++ {
+		if !s.L1[c].St.stable() {
+			stuck = true
+		}
+	}
+	dirStable := s.Dir.St == DirI || s.Dir.St == DirN || s.Dir.St == DirX
+	if !dirStable {
+		stuck = true
+	}
+	if !stuck {
+		return false
+	}
+	for i := range s.Net {
+		m := &s.Net[i]
+		if m.Dst == dirID && m.Kind.request() && !dirStable {
+			continue
+		}
+		return false // something can still be delivered
+	}
+	return true
+}

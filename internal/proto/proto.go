@@ -1,0 +1,284 @@
+// Package proto implements the detailed, message-level MESI and MEUSI
+// coherence protocols of Sec 3.4: L1 controllers and an LLC controller with
+// an in-cache directory, communicating over unordered point-to-point
+// networks with two virtual networks (requests and responses) and no silent
+// drops. Realistic transient states cover the races the paper discusses —
+// invalidations overtaking grants (ISI/INI), upgrades raced by conflicting
+// requests, writebacks raced by recalls (WBI), and MEUSI's operation-type
+// switches (the NN transient, the single state MEUSI adds over MESI at the
+// L1).
+//
+// The protocol is modelled over a single cache line with a small (mod-4)
+// value domain, the standard Murphi-style reduction the paper also applies
+// ("caches with a single 1-bit line; self-eviction rules model a limited
+// capacity"). Commutative updates are increments tagged with one of K
+// operation types; MEUSI must serialize updates of different types through
+// full reductions, which is exactly the machinery the type tags exercise.
+//
+// A ghost (specification-level) value tracks every applied write and
+// update. Safety is expressed as:
+//
+//   - exclusivity: at most one authoritative copy (an E/M cache or an
+//     ownership-carrying message) exists at any time;
+//   - type uniformity: all non-exclusive copies are under one operation
+//     type;
+//   - conservation: authoritative value plus all outstanding partial
+//     updates (in caches and in flight) equals the ghost value;
+//   - data-value: every read hit and every read grant returns exactly the
+//     ghost value.
+//
+// internal/check explores this system exhaustively (the Fig 8 experiment);
+// the tests in this package additionally stress it with long random walks.
+package proto
+
+import "fmt"
+
+// MaxCores bounds the modelled system size (Murphi verified up to 9).
+const MaxCores = 10
+
+// Kind selects the protocol family.
+type Kind uint8
+
+const (
+	// MESI is the baseline two-level protocol (Fig 7a).
+	MESI Kind = iota
+	// MEUSI is MESI plus COUP's generalized non-exclusive state (Fig 7b).
+	MEUSI
+)
+
+func (k Kind) String() string {
+	if k == MEUSI {
+		return "MEUSI"
+	}
+	return "MESI"
+}
+
+// L1State enumerates L1 controller states: 4 stable plus transients.
+type L1State uint8
+
+const (
+	L1I L1State = iota
+	L1N         // non-exclusive: read-only (type 0) or update-only (type>0)
+	L1E
+	L1M
+	L1IN  // I, GetN sent, awaiting grant
+	L1IM  // I, GetM sent, awaiting data
+	L1NM  // N, GetM sent (upgrade), awaiting data
+	L1NN  // N under one type, GetN for another type sent (MEUSI only)
+	L1INI // invalidated while IN: consume grant once, ack, die
+	L1IMI // invalidated while IM/NM: consume data once, ack with data, die
+	L1WB  // writeback/eviction notice sent, awaiting PutAck
+	L1WBI // invalidated (or downgraded) while WB
+	L1WBW // PutAck received but a stale demand is still in flight; absorb it
+
+	numL1States
+)
+
+var l1Names = [numL1States]string{
+	"I", "N", "E", "M", "IN", "IM", "NM", "NN", "INI", "IMI", "WB", "WBI", "WBW",
+}
+
+func (s L1State) String() string {
+	if int(s) < len(l1Names) {
+		return l1Names[s]
+	}
+	return fmt.Sprintf("L1(%d)", uint8(s))
+}
+
+// stable reports whether the L1 can issue a new transaction or evict.
+func (s L1State) stable() bool { return s == L1I || s == L1N || s == L1E || s == L1M }
+
+// DirState enumerates LLC/directory controller states: 3 stable, 3
+// transient (as in the paper's two-level LLC: 6 states).
+type DirState uint8
+
+const (
+	DirI        DirState = iota // no cached copies; LLC data current
+	DirN                        // non-exclusive sharers under one type
+	DirX                        // one owner cache in E/M; LLC stale
+	DirWaitAcks                 // collecting invalidation acks / partials
+	DirWaitDown                 // waiting for an owner downgrade reply
+	DirWaitData                 // waiting for an owner invalidation (data) reply
+
+	numDirStates
+)
+
+var dirNames = [numDirStates]string{"DI", "DN", "DX", "DWA", "DWD", "DWX"}
+
+func (s DirState) String() string {
+	if int(s) < len(dirNames) {
+		return dirNames[s]
+	}
+	return fmt.Sprintf("Dir(%d)", uint8(s))
+}
+
+// MsgKind enumerates protocol messages. GetN/GetM/PutN/PutM/PutE travel on
+// the request virtual network; the rest on the response network.
+type MsgKind uint8
+
+const (
+	MGetN    MsgKind = iota // non-exclusive request, typed (read = type 0)
+	MGetM                   // exclusive request
+	MPutN                   // eviction of a non-exclusive copy (+partial)
+	MPutM                   // eviction of M (+data)
+	MPutE                   // eviction of clean E
+	MInv                    // demand invalidation
+	MDownS                  // demand downgrade to read-only
+	MDownU                  // demand downgrade to update-only (typed)
+	MDataRP                 // data + read permission (Flag: exclusive/E grant)
+	MGrantU                 // update-only permission, no data
+	MDataM                  // data + M
+	MPutAck                 // eviction acknowledged
+	MInvAck                 // invalidation ack (Flag: carries data; else may carry partial)
+	MDownAck                // downgrade ack (Flag: carries data)
+
+	numMsgKinds
+)
+
+var msgNames = [numMsgKinds]string{
+	"GetN", "GetM", "PutN", "PutM", "PutE", "Inv", "DownS", "DownU",
+	"DataRP", "GrantU", "DataM", "PutAck", "InvAck", "DownAck",
+}
+
+func (k MsgKind) String() string {
+	if int(k) < len(msgNames) {
+		return msgNames[k]
+	}
+	return fmt.Sprintf("Msg(%d)", uint8(k))
+}
+
+// request reports whether the message travels on the request virtual
+// network (consumed by the directory only when it is in a stable state).
+// Writeback/eviction notices (Put*) travel with the responses: the
+// directory must be able to consume them while collecting acks, or a
+// sharer that evicted concurrently with an invalidation would deadlock it.
+func (k MsgKind) request() bool { return k <= MGetM }
+
+// Msg is one in-flight message. Src/Dst -1 denotes the directory.
+type Msg struct {
+	Kind MsgKind
+	Src  int8
+	Dst  int8
+	T    uint8 // operation type (0 = read)
+	Val  uint8 // data, partial update, or written value (mod 4)
+	Flag bool  // DataRP: exclusive grant; InvAck/DownAck: carries data
+	Part bool  // InvAck/PutN: carries a partial update in Val
+}
+
+// Op is a core operation: read, write, or a typed commutative update.
+type Op uint8
+
+const (
+	OpNone  Op = 0
+	OpRead  Op = 1
+	OpWrite Op = 2
+	// OpUpdate+t-1 for update type t in 1..K.
+	OpUpdate Op = 3
+)
+
+// UpdateType returns the commutative-update type (1-based) if o is an
+// update, else 0.
+func (o Op) UpdateType() uint8 {
+	if o >= OpUpdate {
+		return uint8(o-OpUpdate) + 1
+	}
+	return 0
+}
+
+// L1 is one L1 controller plus its core's pending operation.
+type L1 struct {
+	St   L1State
+	T    uint8 // current/requested operation type
+	OldT uint8 // NN: the type still held
+	Val  uint8 // data (E/M, N-read) or partial (N-update, NN old partial)
+	Pend Op
+}
+
+// Dir is the LLC/directory controller.
+type Dir struct {
+	St      DirState
+	T       uint8 // operation type when DirN
+	Sharers uint16
+	Owner   int8
+	LLC     uint8 // LLC data value
+	Req     int8  // pending requester (-1: external, for 3-level modelling)
+	ReqOp   Op
+	Acks    uint8
+	Ext     uint8 // pending external action: 0 none, 1 recall, 2 downgrade
+	// OwnerGone marks that the downgraded owner evicted its fresh copy
+	// while its DownAck is still in flight (PutN overtook DownAck).
+	OwnerGone bool
+	// PendPart buffers a partial update that arrived (via that racing PutN)
+	// before the DownAck's data; folding it into the still-stale LLC would
+	// lose it when the data lands.
+	PendPart uint8
+}
+
+// State is a complete protocol configuration. It is a value type: Step
+// functions copy it.
+type State struct {
+	L1    [MaxCores]L1
+	Dir   Dir
+	Net   []Msg
+	Ghost uint8
+}
+
+// System fixes the protocol parameters.
+type System struct {
+	Kind   Kind
+	NCores int
+	NOps   int // number of commutative-update types (MEUSI; 0 for MESI)
+	// Level3 adds externally-issued recall and downgrade rules, the paper's
+	// device for modelling the traffic a middle-level controller sees from
+	// its parent in three-level hierarchies (Sec 3.4).
+	Level3 bool
+	// BugDropPartials deliberately discards partial updates carried on
+	// invalidation acks. Used to validate that the checker and the stress
+	// tests actually catch protocol bugs.
+	BugDropPartials bool
+}
+
+// Validate reports configuration errors.
+func (sy *System) Validate() error {
+	if sy.NCores < 1 || sy.NCores > MaxCores {
+		return fmt.Errorf("proto: NCores must be 1..%d", MaxCores)
+	}
+	if sy.Kind == MESI && sy.NOps != 0 {
+		return fmt.Errorf("proto: MESI supports no commutative updates")
+	}
+	if sy.NOps < 0 || sy.NOps > 20 {
+		return fmt.Errorf("proto: NOps must be 0..20")
+	}
+	return nil
+}
+
+// Initial returns the reset state: every cache invalid, line value 0.
+func (sy *System) Initial() State {
+	var s State
+	s.Dir = Dir{St: DirI, Owner: -1, Req: -1}
+	return s
+}
+
+// Quiescent reports whether no transaction is in flight.
+func (s *State) Quiescent(sy *System) bool {
+	if len(s.Net) != 0 {
+		return false
+	}
+	for i := 0; i < sy.NCores; i++ {
+		if !s.L1[i].St.stable() || s.L1[i].Pend != OpNone {
+			return false
+		}
+	}
+	return s.Dir.St == DirI || s.Dir.St == DirN || s.Dir.St == DirX
+}
+
+func (s *State) send(m Msg) { s.Net = append(s.Net, m) }
+
+// removeMsg deletes the i-th message.
+func (s *State) removeMsg(i int) {
+	s.Net = append(append([]Msg{}, s.Net[:i]...), s.Net[i+1:]...)
+}
+
+const dirID = int8(-1)
+
+func bitOf(c int) uint16 { return 1 << uint(c) }

@@ -1,0 +1,742 @@
+package proto
+
+import "fmt"
+
+// EventKind classifies the nondeterministic events the checker explores.
+type EventKind uint8
+
+const (
+	// EvIssue: an idle core issues a read, write, or typed update.
+	EvIssue EventKind = iota
+	// EvEvict: a cache in a valid stable state self-evicts (models limited
+	// capacity, as in the paper's Murphi setup).
+	EvEvict
+	// EvDeliver: one in-flight message is delivered (unordered networks:
+	// any message may arrive next; directory consumes requests only when
+	// in a stable state).
+	EvDeliver
+	// EvExternal: three-level modelling only — the parent level demands a
+	// recall (Ext=1) or a downgrade (Ext=2) of the whole line, the paper's
+	// device for simulating traffic from other mid-level controllers.
+	EvExternal
+)
+
+// Event is one enabled transition.
+type Event struct {
+	Kind   EventKind
+	Core   int
+	Op     Op
+	MsgIdx int
+	Ext    uint8
+}
+
+func (e Event) String() string {
+	switch e.Kind {
+	case EvIssue:
+		return fmt.Sprintf("issue(core=%d,op=%d)", e.Core, e.Op)
+	case EvEvict:
+		return fmt.Sprintf("evict(core=%d)", e.Core)
+	case EvDeliver:
+		return fmt.Sprintf("deliver(msg=%d)", e.MsgIdx)
+	case EvExternal:
+		return fmt.Sprintf("external(%d)", e.Ext)
+	}
+	return "?"
+}
+
+func (s State) clone() State {
+	ns := s
+	ns.Net = append([]Msg(nil), s.Net...)
+	return ns
+}
+
+// Events enumerates every enabled transition from s.
+func (sy *System) Events(s *State) []Event {
+	var evs []Event
+	for c := 0; c < sy.NCores; c++ {
+		if s.L1[c].St.stable() {
+			evs = append(evs, Event{Kind: EvIssue, Core: c, Op: OpRead})
+			evs = append(evs, Event{Kind: EvIssue, Core: c, Op: OpWrite})
+			for t := 1; t <= sy.NOps; t++ {
+				evs = append(evs, Event{Kind: EvIssue, Core: c, Op: OpUpdate + Op(t-1)})
+			}
+			if s.L1[c].St != L1I {
+				evs = append(evs, Event{Kind: EvEvict, Core: c})
+			}
+		}
+	}
+	dirStable := s.Dir.St == DirI || s.Dir.St == DirN || s.Dir.St == DirX
+	for i, m := range s.Net {
+		if m.Dst == dirID && m.Kind.request() && !dirStable {
+			continue // the network holds requests while the directory is busy
+		}
+		evs = append(evs, Event{Kind: EvDeliver, MsgIdx: i})
+	}
+	if sy.Level3 && dirStable {
+		if s.Dir.St != DirI || s.Dir.LLC != 0 || s.Ghost != 0 {
+			evs = append(evs, Event{Kind: EvExternal, Ext: 1}) // recall
+		}
+		if s.Dir.St == DirX {
+			evs = append(evs, Event{Kind: EvExternal, Ext: 2}) // downgrade
+		}
+	}
+	return evs
+}
+
+// Apply executes event e on a copy of s. The returned error reports an
+// invariant violation detected during the action itself (a read observing
+// a wrong value, or a protocol-impossible message).
+func (sy *System) Apply(s State, e Event) (State, error) {
+	ns := s.clone()
+	var err error
+	switch e.Kind {
+	case EvIssue:
+		err = sy.issue(&ns, e.Core, e.Op)
+	case EvEvict:
+		err = sy.evict(&ns, e.Core)
+	case EvDeliver:
+		m := ns.Net[e.MsgIdx]
+		ns.removeMsg(e.MsgIdx)
+		if m.Dst == dirID {
+			if m.Kind <= MPutE {
+				err = sy.dirRequest(&ns, m)
+			} else {
+				err = sy.dirResponse(&ns, m)
+			}
+		} else {
+			err = sy.l1Deliver(&ns, m)
+		}
+	case EvExternal:
+		err = sy.external(&ns, e.Ext)
+	}
+	return ns, err
+}
+
+// issue performs op on core c (hit: completes immediately; miss: starts a
+// transaction and blocks the core).
+func (sy *System) issue(ns *State, c int, op Op) error {
+	l := &ns.L1[c]
+	switch op {
+	case OpRead:
+		switch l.St {
+		case L1N:
+			if l.T == 0 {
+				if l.Val != ns.Ghost {
+					return fmt.Errorf("core %d read %d in N, ghost %d", c, l.Val, ns.Ghost)
+				}
+				return nil // hit
+			}
+			// Update-only copy cannot satisfy a read: type switch via NN.
+			l.OldT, l.T, l.St, l.Pend = l.T, 0, L1NN, OpRead
+			ns.send(Msg{Kind: MGetN, Src: int8(c), Dst: dirID, T: 0})
+		case L1E, L1M:
+			if l.Val != ns.Ghost {
+				return fmt.Errorf("core %d read %d in %v, ghost %d", c, l.Val, l.St, ns.Ghost)
+			}
+		case L1I:
+			l.T, l.St, l.Pend = 0, L1IN, OpRead
+			ns.send(Msg{Kind: MGetN, Src: int8(c), Dst: dirID, T: 0})
+		}
+	case OpWrite:
+		newv := uint8(c+1) & 3
+		switch l.St {
+		case L1M:
+			l.Val, ns.Ghost = newv, newv
+		case L1E:
+			l.St, l.Val, ns.Ghost = L1M, newv, newv
+		case L1N:
+			l.OldT, l.St, l.Pend = l.T, L1NM, OpWrite
+			ns.send(Msg{Kind: MGetM, Src: int8(c), Dst: dirID})
+		case L1I:
+			l.St, l.Pend = L1IM, OpWrite
+			ns.send(Msg{Kind: MGetM, Src: int8(c), Dst: dirID})
+		}
+	default: // typed commutative update
+		t := op.UpdateType()
+		if t == 0 || int(t) > sy.NOps || sy.Kind != MEUSI {
+			return fmt.Errorf("bad update op %d for %v/%d ops", op, sy.Kind, sy.NOps)
+		}
+		switch l.St {
+		case L1M:
+			l.Val = (l.Val + 1) & 3
+			ns.Ghost = (ns.Ghost + 1) & 3
+		case L1E:
+			l.St = L1M
+			l.Val = (l.Val + 1) & 3
+			ns.Ghost = (ns.Ghost + 1) & 3
+		case L1N:
+			if l.T == t {
+				l.Val = (l.Val + 1) & 3 // buffer and coalesce locally
+				ns.Ghost = (ns.Ghost + 1) & 3
+				return nil
+			}
+			l.OldT, l.T, l.St, l.Pend = l.T, t, L1NN, op
+			ns.send(Msg{Kind: MGetN, Src: int8(c), Dst: dirID, T: t})
+		case L1I:
+			l.T, l.St, l.Pend = t, L1IN, op
+			ns.send(Msg{Kind: MGetN, Src: int8(c), Dst: dirID, T: t})
+		}
+	}
+	return nil
+}
+
+// evict starts a self-eviction from a valid stable state.
+func (sy *System) evict(ns *State, c int) error {
+	l := &ns.L1[c]
+	switch l.St {
+	case L1N:
+		ns.send(Msg{Kind: MPutN, Src: int8(c), Dst: dirID, T: l.T, Val: l.Val, Part: l.T > 0})
+		l.St, l.Val = L1WB, 0
+	case L1E:
+		ns.send(Msg{Kind: MPutE, Src: int8(c), Dst: dirID})
+		l.St, l.Val = L1WB, 0
+	case L1M:
+		ns.send(Msg{Kind: MPutM, Src: int8(c), Dst: dirID, Val: l.Val})
+		l.St, l.Val = L1WB, 0
+	default:
+		return fmt.Errorf("evict from %v", l.St)
+	}
+	return nil
+}
+
+// external injects the parent-level recall/downgrade rules (3-level model).
+func (sy *System) external(ns *State, kind uint8) error {
+	d := &ns.Dir
+	switch kind {
+	case 1: // recall the whole line
+		switch d.St {
+		case DirI:
+			return sy.flushLine(ns)
+		case DirN:
+			d.Req, d.ReqOp, d.Ext = -1, OpNone, 1
+			return sy.startInvAll(ns, 0)
+		case DirX:
+			owner := d.Owner
+			d.Req, d.ReqOp, d.Ext = -1, OpNone, 1
+			d.St = DirWaitData
+			ns.send(Msg{Kind: MInv, Src: dirID, Dst: owner, Flag: true})
+		}
+	case 2: // downgrade the owner to read-only
+		if d.St != DirX {
+			return fmt.Errorf("external downgrade in %v", d.St)
+		}
+		d.Req, d.ReqOp, d.Ext = -1, OpRead, 2
+		d.St = DirWaitDown
+		ns.send(Msg{Kind: MDownS, Src: dirID, Dst: d.Owner})
+	}
+	return nil
+}
+
+// flushLine completes an external recall: the line leaves this subtree.
+func (sy *System) flushLine(ns *State) error {
+	if ns.Dir.LLC != ns.Ghost {
+		return fmt.Errorf("flush with LLC %d != ghost %d", ns.Dir.LLC, ns.Ghost)
+	}
+	ns.Dir = Dir{St: DirI, Owner: -1, Req: -1}
+	ns.Ghost = 0
+	return nil
+}
+
+// startInvAll sends invalidations to every current sharer (except skip >= 0)
+// and moves the directory to DirWaitAcks. Callers set Req/ReqOp/Ext first.
+func (sy *System) startInvAll(ns *State, skipMask uint16) error {
+	d := &ns.Dir
+	targets := d.Sharers &^ skipMask
+	if targets == 0 {
+		return sy.completeAcks(ns)
+	}
+	n := uint8(0)
+	for c := 0; c < sy.NCores; c++ {
+		if targets&bitOf(c) != 0 {
+			ns.send(Msg{Kind: MInv, Src: dirID, Dst: int8(c)})
+			n++
+		}
+	}
+	d.Acks = n
+	d.St = DirWaitAcks
+	return nil
+}
+
+// dirRequest handles request-network messages; only called in stable states.
+func (sy *System) dirRequest(ns *State, m Msg) error {
+	d := &ns.Dir
+	c := int(m.Src)
+	switch m.Kind {
+	case MGetN:
+		switch d.St {
+		case DirI:
+			// Unshared: exclusive grant — E for reads, M for updates (Fig 6).
+			if d.LLC != ns.Ghost {
+				return fmt.Errorf("grant from DirI with LLC %d != ghost %d", d.LLC, ns.Ghost)
+			}
+			if m.T == 0 {
+				ns.send(Msg{Kind: MDataRP, Src: dirID, Dst: m.Src, Val: d.LLC, Flag: true})
+			} else {
+				ns.send(Msg{Kind: MDataM, Src: dirID, Dst: m.Src, Val: d.LLC})
+			}
+			d.St, d.Owner = DirX, m.Src
+		case DirN:
+			if d.T == m.T {
+				d.Sharers |= bitOf(c)
+				if m.T == 0 {
+					if d.LLC != ns.Ghost {
+						return fmt.Errorf("read grant with LLC %d != ghost %d", d.LLC, ns.Ghost)
+					}
+					ns.send(Msg{Kind: MDataRP, Src: dirID, Dst: m.Src, Val: d.LLC})
+				} else {
+					ns.send(Msg{Kind: MGrantU, Src: dirID, Dst: m.Src, T: m.T})
+				}
+				return nil
+			}
+			// Operation-type switch: full reduction/invalidation of every
+			// current copy, including the requester's old-type copy.
+			d.Req, d.ReqOp, d.Ext = m.Src, opForGetN(m.T), 0
+			return sy.startInvAll(ns, 0)
+		case DirX:
+			d.Req, d.ReqOp, d.Ext = m.Src, opForGetN(m.T), 0
+			d.St = DirWaitDown
+			if m.T == 0 {
+				ns.send(Msg{Kind: MDownS, Src: dirID, Dst: d.Owner})
+			} else {
+				ns.send(Msg{Kind: MDownU, Src: dirID, Dst: d.Owner, T: m.T})
+			}
+		}
+	case MGetM:
+		switch d.St {
+		case DirI:
+			if d.LLC != ns.Ghost {
+				return fmt.Errorf("M grant from DirI with LLC %d != ghost %d", d.LLC, ns.Ghost)
+			}
+			ns.send(Msg{Kind: MDataM, Src: dirID, Dst: m.Src, Val: d.LLC})
+			d.St, d.Owner = DirX, m.Src
+		case DirN:
+			d.Req, d.ReqOp, d.Ext = m.Src, OpWrite, 0
+			if d.T == 0 && d.Sharers&bitOf(c) != 0 {
+				// Classic upgrade: the read-only requester keeps its copy;
+				// invalidate the others.
+				d.Sharers &^= bitOf(c)
+				return sy.startInvAll(ns, 0)
+			}
+			// Update-type sharers (or a non-sharer requester): collect
+			// everything, including the requester's partial.
+			return sy.startInvAll(ns, 0)
+		case DirX:
+			d.Req, d.ReqOp, d.Ext = m.Src, OpWrite, 0
+			d.St = DirWaitData
+			ns.send(Msg{Kind: MInv, Src: dirID, Dst: d.Owner, Flag: true})
+		}
+	case MPutN:
+		switch d.St {
+		case DirN:
+			if d.Sharers&bitOf(c) == 0 {
+				return fmt.Errorf("PutN from non-sharer %d", c)
+			}
+			if m.Part {
+				sy.fold(ns, m.Val)
+			}
+			d.Sharers &^= bitOf(c)
+			if d.Sharers == 0 {
+				d.St, d.T = DirI, 0
+			}
+			ns.send(Msg{Kind: MPutAck, Src: dirID, Dst: m.Src})
+		case DirWaitAcks:
+			// The eviction raced with our invalidation: it is the ack, and
+			// our Inv message is now stale — the flagged PutAck tells the
+			// evictor to absorb it (WBW).
+			if d.Sharers&bitOf(c) == 0 {
+				return fmt.Errorf("PutN from uncounted sharer %d", c)
+			}
+			if m.Part {
+				sy.fold(ns, m.Val)
+			}
+			d.Sharers &^= bitOf(c)
+			d.Acks--
+			ns.send(Msg{Kind: MPutAck, Src: dirID, Dst: m.Src, Flag: true})
+			if d.Acks == 0 {
+				return sy.completeAcks(ns)
+			}
+		case DirWaitDown:
+			// The owner answered the downgrade (DownAck still in flight)
+			// and then immediately evicted its fresh non-exclusive copy.
+			// Buffer the partial: the LLC is stale until the DownAck data
+			// arrives.
+			if d.Owner != m.Src {
+				return fmt.Errorf("PutN from non-owner during downgrade")
+			}
+			if m.Part {
+				d.PendPart = (d.PendPart + m.Val) & 3
+			}
+			d.OwnerGone = true
+			ns.send(Msg{Kind: MPutAck, Src: dirID, Dst: m.Src})
+		default:
+			return fmt.Errorf("PutN in %v", d.St)
+		}
+	case MPutM, MPutE:
+		hasData := m.Kind == MPutM
+		switch d.St {
+		case DirX:
+			if d.Owner != m.Src {
+				return fmt.Errorf("Put%v from non-owner", m.Kind)
+			}
+			if hasData {
+				d.LLC = m.Val
+			}
+			d.St, d.Owner = DirI, -1
+			ns.send(Msg{Kind: MPutAck, Src: dirID, Dst: m.Src})
+		case DirWaitDown, DirWaitData:
+			// The owner evicted instead of answering the demand; the demand
+			// message is stale, so the PutAck is flagged.
+			if d.Owner != m.Src {
+				return fmt.Errorf("Put%v from non-owner during wait", m.Kind)
+			}
+			if hasData {
+				d.LLC = m.Val
+			}
+			d.Owner = -1
+			ns.send(Msg{Kind: MPutAck, Src: dirID, Dst: m.Src, Flag: true})
+			return sy.completeOwnerGone(ns)
+		default:
+			return fmt.Errorf("Put%v in %v", m.Kind, d.St)
+		}
+	default:
+		return fmt.Errorf("request net got %v", m.Kind)
+	}
+	return nil
+}
+
+// dirResponse handles response-network messages addressed to the directory.
+func (sy *System) dirResponse(ns *State, m Msg) error {
+	d := &ns.Dir
+	c := int(m.Src)
+	switch m.Kind {
+	case MInvAck:
+		switch d.St {
+		case DirWaitAcks:
+			if d.Sharers&bitOf(c) == 0 {
+				return fmt.Errorf("InvAck from uncounted sharer %d", c)
+			}
+			if m.Part {
+				sy.fold(ns, m.Val)
+			}
+			if m.Flag {
+				d.LLC = m.Val
+			}
+			d.Sharers &^= bitOf(c)
+			d.Acks--
+			if d.Acks == 0 {
+				return sy.completeAcks(ns)
+			}
+		case DirWaitData, DirWaitDown:
+			// The owner (or the pending grantee) gave the line up entirely.
+			if d.Owner != m.Src {
+				return fmt.Errorf("InvAck from non-owner %d in %v", c, d.St)
+			}
+			if m.Flag {
+				d.LLC = m.Val
+			}
+			if m.Part {
+				sy.fold(ns, m.Val)
+			}
+			d.Owner = -1
+			return sy.completeOwnerGone(ns)
+		default:
+			return fmt.Errorf("InvAck in %v", d.St)
+		}
+	case MDownAck:
+		if d.St != DirWaitDown {
+			return fmt.Errorf("DownAck in %v", d.St)
+		}
+		if d.Owner != m.Src {
+			return fmt.Errorf("DownAck from non-owner")
+		}
+		if m.Flag {
+			d.LLC = m.Val
+		}
+		if d.OwnerGone {
+			// The owner's post-downgrade eviction was already processed;
+			// its copy no longer exists. Now that the authoritative data
+			// has landed, fold the buffered partial.
+			d.Owner = -1
+			d.OwnerGone = false
+			sy.fold(ns, d.PendPart)
+			d.PendPart = 0
+			return sy.completeOwnerGone(ns)
+		}
+		owner := d.Owner
+		d.Owner = -1
+		// The former owner keeps a copy under the new type.
+		switch {
+		case d.Req == -1: // external downgrade: no requester to grant
+			d.St, d.T, d.Sharers = DirN, 0, bitOf(int(owner))
+			d.Req, d.ReqOp, d.Ext = -1, OpNone, 0
+		case d.ReqOp == OpRead:
+			if d.LLC != ns.Ghost {
+				return fmt.Errorf("read grant after downgrade: LLC %d != ghost %d", d.LLC, ns.Ghost)
+			}
+			ns.send(Msg{Kind: MDataRP, Src: dirID, Dst: d.Req, Val: d.LLC})
+			d.St, d.T, d.Sharers = DirN, 0, bitOf(int(owner))|bitOf(int(d.Req))
+			d.Req, d.ReqOp = -1, OpNone
+		default: // update
+			t := d.ReqOp.UpdateType()
+			ns.send(Msg{Kind: MGrantU, Src: dirID, Dst: d.Req, T: t})
+			d.St, d.T, d.Sharers = DirN, t, bitOf(int(owner))|bitOf(int(d.Req))
+			d.Req, d.ReqOp = -1, OpNone
+		}
+	default:
+		return fmt.Errorf("dir response net got %v", m.Kind)
+	}
+	return nil
+}
+
+// fold reduces a partial update into the LLC copy (the reduction unit).
+func (sy *System) fold(ns *State, partial uint8) {
+	if sy.BugDropPartials {
+		return
+	}
+	ns.Dir.LLC = (ns.Dir.LLC + partial) & 3
+}
+
+// completeAcks finishes a DirWaitAcks collection: every outstanding copy is
+// gone and all partials are folded, so the requester is granted exclusively
+// (reads get E, writes and updates get M — Fig 6's unshared-line rule).
+func (sy *System) completeAcks(ns *State) error {
+	d := &ns.Dir
+	if d.Req == -1 { // external recall
+		if d.Ext != 1 {
+			return fmt.Errorf("ack completion with ext=%d", d.Ext)
+		}
+		d.St, d.T, d.Sharers, d.Owner = DirI, 0, 0, -1
+		d.Ext = 0
+		return sy.flushLine(ns)
+	}
+	if d.LLC != ns.Ghost {
+		return fmt.Errorf("exclusive grant: LLC %d != ghost %d", d.LLC, ns.Ghost)
+	}
+	if d.ReqOp == OpRead {
+		ns.send(Msg{Kind: MDataRP, Src: dirID, Dst: d.Req, Val: d.LLC, Flag: true})
+	} else {
+		ns.send(Msg{Kind: MDataM, Src: dirID, Dst: d.Req, Val: d.LLC})
+	}
+	d.St, d.T, d.Sharers, d.Owner = DirX, 0, 0, d.Req
+	d.Req, d.ReqOp = -1, OpNone
+	return nil
+}
+
+// completeOwnerGone finishes DirWaitDown/DirWaitData when the owner's copy
+// disappeared (invalidation ack, or a racing eviction): the requester is
+// granted exclusively.
+func (sy *System) completeOwnerGone(ns *State) error {
+	d := &ns.Dir
+	if d.Req == -1 { // external action and the owner vanished
+		ext := d.Ext
+		d.St, d.T, d.Sharers, d.Owner = DirI, 0, 0, -1
+		d.Req, d.ReqOp, d.Ext = -1, OpNone, 0
+		if ext == 1 {
+			return sy.flushLine(ns)
+		}
+		// External downgrade degenerates to an empty line.
+		return nil
+	}
+	if d.LLC != ns.Ghost {
+		return fmt.Errorf("owner-gone grant: LLC %d != ghost %d", d.LLC, ns.Ghost)
+	}
+	if d.ReqOp == OpRead {
+		ns.send(Msg{Kind: MDataRP, Src: dirID, Dst: d.Req, Val: d.LLC, Flag: true})
+	} else {
+		ns.send(Msg{Kind: MDataM, Src: dirID, Dst: d.Req, Val: d.LLC})
+	}
+	d.St, d.T, d.Sharers, d.Owner = DirX, 0, 0, d.Req
+	d.Req, d.ReqOp, d.Ext = -1, OpNone, 0
+	return nil
+}
+
+// l1Deliver handles messages addressed to an L1 controller.
+func (sy *System) l1Deliver(ns *State, m Msg) error {
+	c := int(m.Dst)
+	l := &ns.L1[c]
+	switch m.Kind {
+	case MDataRP:
+		switch l.St {
+		case L1IN:
+			if l.T != 0 {
+				return fmt.Errorf("core %d got DataRP while requesting type %d", c, l.T)
+			}
+			if m.Flag {
+				l.St = L1E
+			} else {
+				l.St = L1N
+			}
+			l.Val, l.Pend = m.Val, OpNone
+		case L1INI:
+			// Consume once (the read was satisfied at grant time), then ack
+			// the pending demand: with data if the grant was exclusive.
+			ns.send(Msg{Kind: MInvAck, Src: int8(c), Dst: dirID, Flag: m.Flag, Val: m.Val})
+			*l = L1{St: L1I}
+		default:
+			return fmt.Errorf("DataRP in %v", l.St)
+		}
+	case MGrantU:
+		switch l.St {
+		case L1IN:
+			if l.T != m.T {
+				return fmt.Errorf("GrantU type %d but requested %d", m.T, l.T)
+			}
+			l.St, l.Val = L1N, 0
+			// Apply the pending update into the fresh identity buffer.
+			l.Val = 1
+			ns.Ghost = (ns.Ghost + 1) & 3
+			l.Pend = OpNone
+		case L1INI:
+			// Apply once, hand the partial back with the ack, die.
+			ns.Ghost = (ns.Ghost + 1) & 3
+			ns.send(Msg{Kind: MInvAck, Src: int8(c), Dst: dirID, Part: true, Val: 1})
+			*l = L1{St: L1I}
+		default:
+			return fmt.Errorf("GrantU in %v", l.St)
+		}
+	case MDataM:
+		apply := func(base uint8) (uint8, error) {
+			switch {
+			case l.Pend == OpWrite:
+				nv := uint8(c+1) & 3
+				ns.Ghost = nv
+				return nv, nil
+			case l.Pend >= OpUpdate:
+				ns.Ghost = (ns.Ghost + 1) & 3
+				return (base + 1) & 3, nil
+			}
+			return 0, fmt.Errorf("DataM with pending %d", l.Pend)
+		}
+		switch l.St {
+		case L1IM, L1NM, L1IN:
+			// L1IN receives DataM when an update request on an unshared
+			// line is granted M directly (Fig 6).
+			v, err := apply(m.Val)
+			if err != nil {
+				return err
+			}
+			l.St, l.Val, l.Pend = L1M, v, OpNone
+		case L1IMI, L1INI:
+			v, err := apply(m.Val)
+			if err != nil {
+				return err
+			}
+			ns.send(Msg{Kind: MInvAck, Src: int8(c), Dst: dirID, Flag: true, Val: v})
+			*l = L1{St: L1I}
+		default:
+			return fmt.Errorf("DataM in %v", l.St)
+		}
+	case MInv:
+		// m.Flag distinguishes an owner demand (the directory believes we
+		// own the line — our exclusive grant may still be in flight) from a
+		// collection invalidation (we are a counted sharer and must ack).
+		switch l.St {
+		case L1N:
+			ns.send(Msg{Kind: MInvAck, Src: int8(c), Dst: dirID, Part: l.T > 0, Val: l.Val})
+			*l = L1{St: L1I}
+		case L1E:
+			ns.send(Msg{Kind: MInvAck, Src: int8(c), Dst: dirID})
+			*l = L1{St: L1I}
+		case L1M:
+			ns.send(Msg{Kind: MInvAck, Src: int8(c), Dst: dirID, Flag: true, Val: l.Val})
+			*l = L1{St: L1I}
+		case L1IN:
+			l.St = L1INI
+		case L1IM:
+			l.St = L1IMI
+		case L1NM:
+			if m.Flag {
+				// Owner demand: our DataM is in flight. Surrender the held
+				// copy silently (read-type only — update-type upgrades were
+				// collected before the grant) and ack once M arrives.
+				if l.OldT > 0 {
+					return fmt.Errorf("owner-demand Inv in NM with partial")
+				}
+				l.St, l.Val = L1IMI, 0
+				break
+			}
+			// Collection: give up the held copy (with its partial) now and
+			// keep waiting for the M grant.
+			ns.send(Msg{Kind: MInvAck, Src: int8(c), Dst: dirID, Part: l.OldT > 0, Val: l.Val})
+			l.St, l.Val, l.OldT = L1IM, 0, 0
+		case L1NN:
+			ns.send(Msg{Kind: MInvAck, Src: int8(c), Dst: dirID, Part: l.OldT > 0, Val: l.Val})
+			l.St, l.Val, l.OldT = L1IN, 0, 0
+		case L1WB:
+			l.St = L1WBI // our Put message answers the demand
+		case L1WBW:
+			*l = L1{St: L1I} // the stale demand our flagged PutAck promised
+		default:
+			return fmt.Errorf("Inv in %v", l.St)
+		}
+	case MDownS, MDownU:
+		newT := uint8(0)
+		if m.Kind == MDownU {
+			newT = m.T
+		}
+		switch l.St {
+		case L1M:
+			ns.send(Msg{Kind: MDownAck, Src: int8(c), Dst: dirID, Flag: true, Val: l.Val})
+			if m.Kind == MDownU {
+				l.St, l.T, l.Val = L1N, newT, 0 // identity buffer (Fig 5b)
+			} else {
+				l.St, l.T = L1N, 0 // keep the value as a read-only copy
+			}
+		case L1E:
+			ns.send(Msg{Kind: MDownAck, Src: int8(c), Dst: dirID})
+			if m.Kind == MDownU {
+				l.St, l.T, l.Val = L1N, newT, 0
+			} else {
+				l.St, l.T = L1N, 0
+			}
+		case L1IN, L1IM:
+			// Demand raced ahead of our exclusive grant: treat as an
+			// invalidation (we give the copy up when it arrives).
+			if l.St == L1IN {
+				l.St = L1INI
+			} else {
+				l.St = L1IMI
+			}
+		case L1NM:
+			// We won an upgrade (DataM in flight) and the next transaction's
+			// downgrade overtook it. Surrender everything once M arrives.
+			// Only the read-upgrade path can be here (update-type upgrades
+			// are invalidated during collection), so no partial is lost.
+			if l.OldT > 0 {
+				return fmt.Errorf("%v in NM with partial", m.Kind)
+			}
+			l.St, l.Val = L1IMI, 0
+		case L1WB:
+			l.St = L1WBI
+		case L1WBW:
+			*l = L1{St: L1I} // stale downgrade absorbed
+		default:
+			return fmt.Errorf("%v in %v", m.Kind, l.St)
+		}
+	case MPutAck:
+		switch l.St {
+		case L1WB:
+			if m.Flag {
+				// A demand raced with our eviction and is still in flight;
+				// wait for it and absorb it.
+				l.St = L1WBW
+			} else {
+				*l = L1{St: L1I}
+			}
+		case L1WBI:
+			*l = L1{St: L1I}
+		default:
+			return fmt.Errorf("PutAck in %v", l.St)
+		}
+	default:
+		return fmt.Errorf("L1 got %v", m.Kind)
+	}
+	return nil
+}
+
+func opForGetN(t uint8) Op {
+	if t == 0 {
+		return OpRead
+	}
+	return OpUpdate + Op(t-1)
+}

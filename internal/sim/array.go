@@ -1,0 +1,127 @@
+package sim
+
+// array is a set-associative cache array with LRU replacement, generic over
+// the per-line payload (private-cache coherence state, or directory state at
+// the shared levels). Sets are allocated lazily so that even full-size
+// Table 1 geometries cost memory only for the sets actually touched.
+type array[P any] struct {
+	ways    int
+	setMask uint64
+	tick    uint64 // LRU clock
+	sets    [][]slot[P]
+}
+
+// slot is one way of one set.
+type slot[P any] struct {
+	tag   uint64 // line address (full address >> 6)
+	lru   uint64
+	valid bool
+	p     P
+}
+
+// newArray builds an array holding sizeBytes of 64-byte lines with the
+// given associativity. The set count is rounded down to a power of two.
+func newArray[P any](sizeBytes, ways int) *array[P] {
+	lines := sizeBytes / 64
+	sets := lines / ways
+	if sets < 1 {
+		sets = 1
+	}
+	// Round down to a power of two for mask indexing.
+	p2 := 1
+	for p2*2 <= sets {
+		p2 *= 2
+	}
+	return &array[P]{
+		ways:    ways,
+		setMask: uint64(p2 - 1),
+		sets:    make([][]slot[P], p2),
+	}
+}
+
+func (a *array[P]) set(line uint64) []slot[P] {
+	i := line & a.setMask
+	if a.sets[i] == nil {
+		a.sets[i] = make([]slot[P], a.ways)
+	}
+	return a.sets[i]
+}
+
+// lookup returns the slot holding line, updating LRU, or nil on a miss.
+func (a *array[P]) lookup(line uint64) *slot[P] {
+	s := a.set(line)
+	for i := range s {
+		if s[i].valid && s[i].tag == line {
+			a.tick++
+			s[i].lru = a.tick
+			return &s[i]
+		}
+	}
+	return nil
+}
+
+// peek returns the slot holding line without touching LRU state.
+func (a *array[P]) peek(line uint64) *slot[P] {
+	s := a.set(line)
+	for i := range s {
+		if s[i].valid && s[i].tag == line {
+			return &s[i]
+		}
+	}
+	return nil
+}
+
+// insert allocates a slot for line, evicting the LRU way if the set is
+// full. It returns the slot (valid, tagged, zero payload) plus the victim's
+// tag and payload if an eviction occurred. The caller must not insert a
+// line that is already present.
+func (a *array[P]) insert(line uint64) (s *slot[P], victimTag uint64, victim P, evicted bool) {
+	set := a.set(line)
+	vi, vlru := -1, ^uint64(0)
+	for i := range set {
+		if !set[i].valid {
+			vi = i
+			evicted = false
+			vlru = 0
+			break
+		}
+		if set[i].lru < vlru {
+			vi, vlru = i, set[i].lru
+			evicted = true
+		}
+	}
+	sl := &set[vi]
+	if evicted {
+		victimTag, victim = sl.tag, sl.p
+	}
+	a.tick++
+	var zero P
+	*sl = slot[P]{tag: line, lru: a.tick, valid: true, p: zero}
+	return sl, victimTag, victim, evicted
+}
+
+// invalidate removes line from the array if present.
+func (a *array[P]) invalidate(line uint64) {
+	s := a.set(line)
+	for i := range s {
+		if s[i].valid && s[i].tag == line {
+			var zero slot[P]
+			s[i] = zero
+			return
+		}
+	}
+}
+
+// contains reports presence without touching LRU.
+func (a *array[P]) contains(line uint64) bool { return a.peek(line) != nil }
+
+// forEach visits every valid slot. Used by drain and by invariant checks.
+func (a *array[P]) forEach(f func(tag uint64, p *P)) {
+	for _, set := range a.sets {
+		for i := range set {
+			if set[i].valid {
+				f(set[i].tag, &set[i].p)
+			}
+		}
+	}
+}

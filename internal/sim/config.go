@@ -1,0 +1,227 @@
+// Package sim is an execution-driven, cycle-accounting simulator of the
+// multi-socket cache-coherent system the paper evaluates (Table 1, Fig 9):
+// 1–128 cores, 16 cores per processor chip, per-core L1D and L2, a banked
+// per-chip L3 with an in-cache directory, a dancehall off-chip network to
+// the same number of L4-and-global-directory chips, and DDR3-like memory
+// channels. It implements both the MESI baseline and COUP's MEUSI, plus a
+// remote-memory-operation (RMO) mode as an extra baseline for the Fig 1
+// comparison.
+//
+// Simulated threads are ordinary Go functions run as goroutines, but
+// exactly one executes at any instant: the engine hands control to the
+// thread whose next memory operation has the earliest issue time, applies
+// that operation functionally, charges its latency, and resumes the thread.
+// Execution is therefore deterministic (ties broken by core id), data-race
+// free, and functionally exact: CAS failures, atomic interleavings and COUP
+// reductions all happen for real, and every workload validates its final
+// memory image against a sequential reference.
+//
+// The simulator substitutes for zsim (Sanchez & Kozyrakis, ISCA'13), which
+// is unavailable here; see DESIGN.md for the substitution argument.
+package sim
+
+import (
+	"fmt"
+
+	coh "repro/internal/core"
+)
+
+// Protocol selects the memory-system behaviour of a simulated machine.
+type Protocol uint8
+
+const (
+	// MESI is the baseline protocol; commutative updates execute as atomic
+	// read-modify-writes (or CAS loops for floating point).
+	MESI Protocol = iota
+	// MEUSI is MESI extended with COUP's update-only state (Fig 6).
+	MEUSI
+	// RMO models remote memory operations (Fig 1b): commutative updates are
+	// shipped to the line's home L4 bank and executed by an ALU there; lines
+	// being remotely updated are not cached by updaters.
+	RMO
+	// MSI is the E-less baseline (Sec 3.1's starting point); used to ablate
+	// the exclusive-clean optimization.
+	MSI
+	// MUSI is MSI plus the update-only state (Fig 4): COUP without the
+	// E-state optimization of Fig 6.
+	MUSI
+)
+
+func (p Protocol) String() string {
+	switch p {
+	case MESI:
+		return "MESI"
+	case MEUSI:
+		return "MEUSI"
+	case RMO:
+		return "RMO"
+	case MSI:
+		return "MSI"
+	case MUSI:
+		return "MUSI"
+	}
+	return fmt.Sprintf("Protocol(%d)", uint8(p))
+}
+
+// Kind maps the protocol to its stable-state table kind.
+func (p Protocol) Kind() coh.Kind {
+	switch p {
+	case MEUSI:
+		return coh.MEUSI
+	case MUSI:
+		return coh.MUSI
+	case MSI:
+		return coh.MSI
+	default:
+		return coh.MESI
+	}
+}
+
+// HasU reports whether the protocol supports COUP's update-only state.
+func (p Protocol) HasU() bool { return p == MEUSI || p == MUSI }
+
+// Config describes a simulated machine. The zero value is not usable; start
+// from DefaultConfig.
+type Config struct {
+	Protocol Protocol
+	// Cores is the total number of simulated cores (1–128 in the paper).
+	Cores int
+	// CoresPerChip is the number of cores per processor chip (Table 1: 16).
+	CoresPerChip int
+
+	// Latencies, in cycles at 2.4 GHz (Table 1).
+	L1Lat   uint64 // L1D hit: 4
+	L2Lat   uint64 // private L2: 7
+	L3Lat   uint64 // shared L3 bank + in-cache directory: 27
+	LinkLat uint64 // off-chip point-to-point link, each direction: 40
+	L4Lat   uint64 // L4 bank + global directory: 35
+	MemLat  uint64 // DDR3-1600-CL10 access: ~120 cycles
+
+	// OnChipHop is the one-way on-chip network latency between an L3 bank
+	// and a core's private L2, used for invalidation/reduction round trips.
+	OnChipHop uint64
+	// AtomicOverhead models the four-µop load-linked/execute/store-
+	// conditional/fence sequence used for both atomic and commutative-update
+	// instructions (Sec 5.1).
+	AtomicOverhead uint64
+
+	// Cache geometry. Sizes are in bytes; defaults are the unscaled Table 1
+	// organization (cache arrays are lazily allocated per set, so full-size
+	// geometry costs memory only for the sets a workload touches). Using the
+	// real capacities keeps the key working sets — histograms, bitmaps,
+	// counter pools — in the same fits-in-L2/L3 regimes as the paper even
+	// though input streams are scaled down.
+	L1Size, L1Ways   int // 32 KB, 8-way
+	L2Size, L2Ways   int // 256 KB, 8-way
+	L3Size, L3Ways   int // per chip; 32 MB, 16-way, 8 banks
+	L4Size, L4Ways   int // per L4 chip; 128 MB, 16-way, 8 banks
+	L3Banks, L4Banks int
+	MemChannels      int // DDR3 channels per L4 chip: 4
+
+	// DirBankService is the bank occupancy per directory transaction.
+	DirBankService uint64
+	// MemChannelService is the channel occupancy per memory access (burst).
+	MemChannelService uint64
+
+	// Reduction unit (Sec 5.1): a 2-stage pipelined 256-bit ALU reduces one
+	// 64-byte line every 2 cycles with a 3-cycle latency. The Sec 5.5
+	// sensitivity study compares against an unpipelined 64-bit ALU (one line
+	// per 16 cycles).
+	ReduceCyclesPerLine uint64
+	ReduceLatency       uint64
+
+	// FlatReductions disables hierarchical reductions (Sec 3.2): the L4
+	// collects one partial per core rather than one per chip. Ablation only.
+	FlatReductions bool
+
+	// BarrierBase and BarrierPerLog2Core model a software tree barrier.
+	BarrierBase        uint64
+	BarrierPerLog2Core uint64
+
+	// Seed drives the workload RNGs and the small non-determinism injection
+	// (Alameldeen & Wood) used to compute confidence intervals.
+	Seed uint64
+	// Jitter is the maximum per-miss random latency perturbation, cycles.
+	Jitter uint64
+}
+
+// DefaultConfig returns the Table 1 machine with the given core count and
+// protocol, with cache capacities scaled as documented on Config.
+func DefaultConfig(cores int, p Protocol) Config {
+	return Config{
+		Protocol:     p,
+		Cores:        cores,
+		CoresPerChip: 16,
+
+		L1Lat: 4, L2Lat: 7, L3Lat: 27, LinkLat: 40, L4Lat: 35, MemLat: 120,
+		OnChipHop:      6,
+		AtomicOverhead: 10,
+
+		L1Size: 32 << 10, L1Ways: 8,
+		L2Size: 256 << 10, L2Ways: 8,
+		L3Size: 32 << 20, L3Ways: 16, L3Banks: 8,
+		L4Size: 128 << 20, L4Ways: 16, L4Banks: 8,
+		MemChannels: 4,
+
+		DirBankService:    4,
+		MemChannelService: 10,
+
+		ReduceCyclesPerLine: 2,
+		ReduceLatency:       3,
+
+		BarrierBase:        300,
+		BarrierPerLog2Core: 60,
+
+		Seed:   1,
+		Jitter: 3,
+	}
+}
+
+// Chips returns the number of processor chips (== L4 chips; the paper
+// scales both together, Sec 5.1).
+func (c *Config) Chips() int {
+	n := (c.Cores + c.CoresPerChip - 1) / c.CoresPerChip
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Validate reports configuration errors.
+func (c *Config) Validate() error {
+	if c.Cores < 1 {
+		return fmt.Errorf("sim: Cores must be >= 1, got %d", c.Cores)
+	}
+	if c.CoresPerChip < 1 {
+		return fmt.Errorf("sim: CoresPerChip must be >= 1")
+	}
+	if c.Cores > 64*c.CoresPerChip {
+		return fmt.Errorf("sim: too many cores (%d)", c.Cores)
+	}
+	for _, g := range []struct {
+		name       string
+		size, ways int
+	}{
+		{"L1", c.L1Size, c.L1Ways}, {"L2", c.L2Size, c.L2Ways},
+		{"L3", c.L3Size, c.L3Ways}, {"L4", c.L4Size, c.L4Ways},
+	} {
+		if g.size < 64*g.ways || g.ways < 1 {
+			return fmt.Errorf("sim: bad %s geometry (%dB, %d ways)", g.name, g.size, g.ways)
+		}
+	}
+	if c.L3Banks < 1 || c.L4Banks < 1 || c.MemChannels < 1 {
+		return fmt.Errorf("sim: banks/channels must be >= 1")
+	}
+	if c.ReduceCyclesPerLine < 1 {
+		return fmt.Errorf("sim: ReduceCyclesPerLine must be >= 1")
+	}
+	return nil
+}
+
+func log2ceil(n int) uint64 {
+	var l uint64
+	for v := 1; v < n; v <<= 1 {
+		l++
+	}
+	return l
+}

@@ -1,0 +1,206 @@
+package sim
+
+import (
+	"math"
+
+	"repro/internal/ops"
+)
+
+// Ctx is the interface a simulated thread uses to touch the memory system.
+// Every method models one or more instructions of the simulated ISA:
+// ordinary loads and stores, x86-style atomics, and COUP's commutative-
+// update instructions (which take an address and a value and write no
+// register, Sec 3.1.1).
+//
+// Under the MESI baseline the Comm* methods transparently fall back to the
+// equivalent atomic read-modify-write (integer) or load+CAS retry loop
+// (floating point), exactly how the paper's baseline benchmark
+// implementations express the same updates. Under RMO they are shipped to
+// the line's home bank. Workloads are therefore written once and run
+// unmodified under every protocol.
+type Ctx struct {
+	m *Machine
+	c *core
+}
+
+// Tid returns this thread's id (0..NThreads-1); one thread runs per core.
+func (x *Ctx) Tid() int { return x.c.id }
+
+// NThreads returns the number of simulated threads.
+func (x *Ctx) NThreads() int { return len(x.m.cores) }
+
+// Chip returns the processor chip this thread's core belongs to.
+func (x *Ctx) Chip() int { return x.c.chip }
+
+// NChips returns the number of processor chips.
+func (x *Ctx) NChips() int { return x.m.cfg.Chips() }
+
+// Now returns the core's current cycle count.
+func (x *Ctx) Now() uint64 { return x.c.time }
+
+// Rand returns a deterministic per-core pseudo-random value.
+func (x *Ctx) Rand() uint64 { return x.c.rng.next() }
+
+// RandN returns a deterministic per-core value in [0, n).
+func (x *Ctx) RandN(n uint64) uint64 { return x.c.rng.intn(n) }
+
+// Work advances the core's clock by n cycles of non-memory computation and
+// accounts roughly one instruction per cycle for instruction-mix stats.
+func (x *Ctx) Work(n uint64) {
+	x.c.time += n
+	x.c.instrs += n
+}
+
+// Barrier blocks until every thread reaches it. Cost models a software tree
+// barrier (see Config.BarrierBase).
+func (x *Ctx) Barrier() {
+	x.c.req = request{kind: opBarrier}
+	x.yield()
+}
+
+func (x *Ctx) yield() {
+	x.m.opCh <- x.c
+	<-x.c.resume
+}
+
+func (x *Ctx) issue(r request) request {
+	x.c.req = r
+	x.c.instrs++
+	x.yield()
+	return x.c.req
+}
+
+// Load64 loads a 64-bit word.
+func (x *Ctx) Load64(addr uint64) uint64 {
+	return x.issue(request{kind: opLoad, addr: addr, width: 8}).out
+}
+
+// Load32 loads a 32-bit word.
+func (x *Ctx) Load32(addr uint64) uint32 {
+	return uint32(x.issue(request{kind: opLoad, addr: addr, width: 4}).out)
+}
+
+// LoadF64 loads a float64.
+func (x *Ctx) LoadF64(addr uint64) float64 { return math.Float64frombits(x.Load64(addr)) }
+
+// LoadF32 loads a float32.
+func (x *Ctx) LoadF32(addr uint64) float32 { return math.Float32frombits(x.Load32(addr)) }
+
+// Store64 stores a 64-bit word.
+func (x *Ctx) Store64(addr, v uint64) {
+	x.issue(request{kind: opStore, addr: addr, val: v, width: 8})
+}
+
+// Store32 stores a 32-bit word.
+func (x *Ctx) Store32(addr uint64, v uint32) {
+	x.issue(request{kind: opStore, addr: addr, val: uint64(v), width: 4})
+}
+
+// StoreF64 stores a float64.
+func (x *Ctx) StoreF64(addr uint64, v float64) { x.Store64(addr, math.Float64bits(v)) }
+
+// StoreF32 stores a float32.
+func (x *Ctx) StoreF32(addr uint64, v float32) { x.Store32(addr, math.Float32bits(v)) }
+
+// AtomicAdd64 is an atomic 64-bit fetch-and-add; it returns the old value.
+func (x *Ctx) AtomicAdd64(addr, delta uint64) uint64 {
+	return x.issue(request{kind: opRMW, addr: addr, val: delta, width: 8, rop: rmwAdd}).out
+}
+
+// AtomicAdd32 is an atomic 32-bit fetch-and-add; it returns the old value.
+func (x *Ctx) AtomicAdd32(addr uint64, delta uint32) uint32 {
+	return uint32(x.issue(request{kind: opRMW, addr: addr, val: uint64(delta), width: 4, rop: rmwAdd}).out)
+}
+
+// AtomicOr64 is an atomic 64-bit fetch-and-or; it returns the old value.
+func (x *Ctx) AtomicOr64(addr, bits uint64) uint64 {
+	return x.issue(request{kind: opRMW, addr: addr, val: bits, width: 8, rop: rmwOr}).out
+}
+
+// AtomicXchg64 atomically exchanges a 64-bit word, returning the old value.
+func (x *Ctx) AtomicXchg64(addr, v uint64) uint64 {
+	return x.issue(request{kind: opRMW, addr: addr, val: v, width: 8, rop: rmwXchg}).out
+}
+
+// CAS64 performs an atomic compare-and-swap on a 64-bit word and reports
+// whether it succeeded.
+func (x *Ctx) CAS64(addr, old, new uint64) bool {
+	return x.issue(request{kind: opCAS, addr: addr, cmp: old, val: new, width: 8}).ok
+}
+
+// CAS32 performs an atomic compare-and-swap on a 32-bit word.
+func (x *Ctx) CAS32(addr uint64, old, new uint32) bool {
+	return x.issue(request{kind: opCAS, addr: addr, cmp: uint64(old), val: uint64(new), width: 4}).ok
+}
+
+// comm issues a commutative update, falling back per protocol.
+func (x *Ctx) comm(t ops.Type, addr, v uint64, width uint8) {
+	switch x.m.cfg.Protocol {
+	case MEUSI, MUSI, RMO:
+		x.issue(request{kind: opComm, addr: addr, val: v, width: width, otype: t})
+	default:
+		// MESI baseline: the same update expressed with conventional atomics.
+		switch t {
+		case ops.AddI16, ops.AddI32, ops.AddI64:
+			x.issue(request{kind: opRMW, addr: addr, val: v, width: width, rop: rmwAdd})
+		case ops.Or64:
+			x.issue(request{kind: opRMW, addr: addr, val: v, width: width, rop: rmwOr})
+		case ops.And64:
+			x.issue(request{kind: opRMW, addr: addr, val: v, width: width, rop: rmwAnd})
+		case ops.Xor64:
+			x.issue(request{kind: opRMW, addr: addr, val: v, width: width, rop: rmwXor})
+		case ops.AddF32:
+			for {
+				old := x.Load32(addr)
+				nv := math.Float32bits(math.Float32frombits(old) + math.Float32frombits(uint32(v)))
+				if x.CAS32(addr, old, nv) {
+					return
+				}
+			}
+		case ops.AddF64:
+			for {
+				old := x.Load64(addr)
+				nv := math.Float64bits(math.Float64frombits(old) + math.Float64frombits(v))
+				if x.CAS64(addr, old, nv) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// CommAdd64 issues a commutative 64-bit integer addition.
+func (x *Ctx) CommAdd64(addr, delta uint64) { x.comm(ops.AddI64, addr, delta, 8) }
+
+// CommAdd32 issues a commutative 32-bit integer addition.
+func (x *Ctx) CommAdd32(addr uint64, delta uint32) { x.comm(ops.AddI32, addr, uint64(delta), 4) }
+
+// CommAddF64 issues a commutative float64 addition.
+func (x *Ctx) CommAddF64(addr uint64, v float64) { x.comm(ops.AddF64, addr, math.Float64bits(v), 8) }
+
+// CommAddF32 issues a commutative float32 addition.
+func (x *Ctx) CommAddF32(addr uint64, v float32) {
+	x.comm(ops.AddF32, addr, uint64(math.Float32bits(v)), 4)
+}
+
+// CommOr64 issues a commutative 64-bit OR.
+func (x *Ctx) CommOr64(addr, bits uint64) { x.comm(ops.Or64, addr, bits, 8) }
+
+// CommAnd64 issues a commutative 64-bit AND.
+func (x *Ctx) CommAnd64(addr, bits uint64) { x.comm(ops.And64, addr, bits, 8) }
+
+// CommXor64 issues a commutative 64-bit XOR.
+func (x *Ctx) CommXor64(addr, bits uint64) { x.comm(ops.Xor64, addr, bits, 8) }
+
+// SpinLock acquires a test-and-test-and-set spinlock at addr (0 = free).
+func (x *Ctx) SpinLock(addr uint64) {
+	for {
+		if x.Load64(addr) == 0 && x.CAS64(addr, 0, 1) {
+			return
+		}
+		x.Work(20) // backoff
+	}
+}
+
+// SpinUnlock releases a spinlock acquired with SpinLock.
+func (x *Ctx) SpinUnlock(addr uint64) { x.Store64(addr, 0) }

@@ -1,0 +1,264 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/ops"
+)
+
+// opKind enumerates the primitive operations a simulated core can issue to
+// the memory system.
+type opKind uint8
+
+const (
+	opLoad opKind = iota
+	opStore
+	opRMW  // atomic read-modify-write (fetch-and-op); returns the old value
+	opCAS  // compare-and-swap; may fail
+	opComm // commutative update (COUP instruction)
+	opBarrier
+	opFinish
+)
+
+// rmwOp selects the function an opRMW applies.
+type rmwOp uint8
+
+const (
+	rmwAdd rmwOp = iota
+	rmwOr
+	rmwAnd
+	rmwXor
+	rmwXchg
+)
+
+// request is the operation a core hands to the engine when it yields.
+type request struct {
+	kind  opKind
+	addr  uint64
+	val   uint64 // operand (store value, add delta, CAS new value)
+	cmp   uint64 // CAS expected value
+	width uint8  // access width in bytes (4 or 8)
+	otype ops.Type
+	rop   rmwOp
+
+	// Results, filled by the engine before resuming the core.
+	out uint64
+	ok  bool
+}
+
+// core is one simulated hardware context.
+type core struct {
+	id, chip int
+	time     uint64
+	req      request
+	resume   chan struct{}
+	rng      rng
+	instrs   uint64 // Work()-modelled instructions
+}
+
+// Machine is a configured simulated system. Build one with New, set up the
+// memory image with Alloc/WriteWord64, then Run a kernel.
+type Machine struct {
+	cfg   Config
+	cores []*core
+	hier  *hierarchy
+	opCh  chan *core
+	pq    coreHeap
+	stats Stats
+
+	allocPtr uint64
+	ran      bool
+}
+
+// New builds a machine for cfg. It panics on invalid configuration (a
+// programming error in experiment setup, not a runtime condition).
+func New(cfg Config) *Machine {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	m := &Machine{
+		cfg:      cfg,
+		opCh:     make(chan *core),
+		allocPtr: 1 << 20, // leave page zero unmapped
+	}
+	m.cores = make([]*core, cfg.Cores)
+	for i := range m.cores {
+		m.cores[i] = &core{
+			id:     i,
+			chip:   i / cfg.CoresPerChip,
+			resume: make(chan struct{}),
+			rng:    newRNG(cfg.Seed*0x9E3779B97F4A7C15 + uint64(i) + 1),
+		}
+	}
+	m.hier = newHierarchy(&m.cfg, &m.stats)
+	return m
+}
+
+// Config returns the machine's configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Alloc reserves size bytes of simulated memory aligned to align (which
+// must be a power of two, at least 8) and returns the base address.
+// Allocation is only valid before Run.
+func (m *Machine) Alloc(size, align uint64) uint64 {
+	if align < 8 || align&(align-1) != 0 {
+		panic(fmt.Sprintf("sim: bad alignment %d", align))
+	}
+	m.allocPtr = (m.allocPtr + align - 1) &^ (align - 1)
+	base := m.allocPtr
+	m.allocPtr += size
+	return base
+}
+
+// AllocLines reserves n cache lines and returns the base address (64-byte
+// aligned).
+func (m *Machine) AllocLines(n uint64) uint64 { return m.Alloc(n*64, 64) }
+
+// WriteWord64 initializes simulated memory before Run (no timing cost).
+func (m *Machine) WriteWord64(addr, v uint64) { m.hier.store.write64(addr, v) }
+
+// WriteWord32 initializes a 32-bit simulated memory word before Run.
+func (m *Machine) WriteWord32(addr uint64, v uint32) { m.hier.store.write32(addr, v) }
+
+// ReadWord64 inspects simulated memory. After Run the machine is drained,
+// so this reflects all buffered commutative updates.
+func (m *Machine) ReadWord64(addr uint64) uint64 { return m.hier.store.read64(addr) }
+
+// ReadWord32 inspects a 32-bit simulated memory word.
+func (m *Machine) ReadWord32(addr uint64) uint32 { return m.hier.store.read32(addr) }
+
+// Stats returns the collected statistics. Valid after Run.
+func (m *Machine) Stats() Stats { return m.stats }
+
+// Run executes kernel once per core, each as a simulated thread, and
+// returns the collected statistics. Run may be called once per Machine.
+func (m *Machine) Run(kernel func(c *Ctx)) Stats {
+	if m.ran {
+		panic("sim: Machine.Run called twice")
+	}
+	m.ran = true
+
+	for _, c := range m.cores {
+		c := c
+		go func() {
+			ctx := &Ctx{m: m, c: c}
+			<-c.resume // wait for the engine's first handoff
+			kernel(ctx)
+			c.req = request{kind: opFinish}
+			m.opCh <- c
+		}()
+	}
+
+	// Kick off every core and collect its first operation.
+	m.pq = m.pq[:0]
+	for _, c := range m.cores {
+		c.resume <- struct{}{}
+		rc := <-m.opCh
+		heap.Push(&m.pq, rc)
+	}
+
+	live := len(m.cores)
+	var barrierWait []*core
+	var end uint64
+	for live > 0 {
+		c := heap.Pop(&m.pq).(*core)
+		switch c.req.kind {
+		case opFinish:
+			live--
+			if c.time > end {
+				end = c.time
+			}
+			continue
+		case opBarrier:
+			barrierWait = append(barrierWait, c)
+			if len(barrierWait) == live {
+				m.releaseBarrier(barrierWait)
+				barrierWait = barrierWait[:0]
+			}
+			continue
+		}
+		lat := m.hier.access(c)
+		c.time += lat
+		m.step(c)
+	}
+	if len(barrierWait) > 0 {
+		panic("sim: deadlock — some cores finished while others wait at a barrier")
+	}
+	m.stats.Cycles = end
+	for _, c := range m.cores {
+		m.stats.Instrs += c.instrs
+	}
+	m.hier.drain()
+	return m.stats
+}
+
+// step resumes core c, waits for its next operation, and requeues it.
+func (m *Machine) step(c *core) {
+	c.resume <- struct{}{}
+	rc := <-m.opCh
+	heap.Push(&m.pq, rc)
+}
+
+// releaseBarrier aligns all waiting cores to the barrier exit time and
+// resumes them one at a time (deterministically, in core order).
+func (m *Machine) releaseBarrier(waiting []*core) {
+	var maxT uint64
+	for _, c := range waiting {
+		if c.time > maxT {
+			maxT = c.time
+		}
+	}
+	exit := maxT + m.cfg.BarrierBase + m.cfg.BarrierPerLog2Core*log2ceil(m.cfg.Cores)
+	// Deterministic release order: core id.
+	for id := 0; id < len(m.cores); id++ {
+		for _, c := range waiting {
+			if c.id == id {
+				c.time = exit
+				m.step(c)
+			}
+		}
+	}
+}
+
+// coreHeap orders cores by (next-op issue time, id).
+type coreHeap []*core
+
+func (h coreHeap) Len() int { return len(h) }
+func (h coreHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].id < h[j].id
+}
+func (h coreHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *coreHeap) Push(x interface{}) { *h = append(*h, x.(*core)) }
+func (h *coreHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	c := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return c
+}
+
+// rng is a splitmix64 generator; deterministic per core.
+type rng struct{ s uint64 }
+
+func newRNG(seed uint64) rng { return rng{s: seed} }
+
+func (r *rng) next() uint64 {
+	r.s += 0x9E3779B97F4A7C15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// intn returns a uniform value in [0, n).
+func (r *rng) intn(n uint64) uint64 {
+	if n == 0 {
+		return 0
+	}
+	return r.next() % n
+}

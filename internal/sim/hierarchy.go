@@ -1,0 +1,1251 @@
+package sim
+
+import (
+	"fmt"
+
+	coh "repro/internal/core"
+	"repro/internal/ops"
+)
+
+// backing is the authoritative simulated memory image. MESI transactions
+// read and write it directly (legal because the engine applies operations
+// atomically in global issue order); under MEUSI, lines held update-only
+// additionally have real partial-update buffers in the private caches, and
+// reductions fold those buffers into the backing image. Nothing reads the
+// image for a line while partial updates are outstanding — the directory
+// reduces first — so eager folding on evictions is functionally exact.
+type backing struct{ lines map[uint64]*ops.Line }
+
+func newBacking() *backing { return &backing{lines: make(map[uint64]*ops.Line)} }
+
+func (b *backing) lineOf(addr uint64) *ops.Line {
+	l := addr >> 6
+	p := b.lines[l]
+	if p == nil {
+		p = new(ops.Line)
+		b.lines[l] = p
+	}
+	return p
+}
+
+func (b *backing) read64(addr uint64) uint64 { return b.lineOf(addr)[(addr>>3)&7] }
+func (b *backing) write64(addr, v uint64)    { b.lineOf(addr)[(addr>>3)&7] = v }
+func (b *backing) read32(addr uint64) uint32 {
+	w := b.lineOf(addr)[(addr>>3)&7]
+	if addr&4 != 0 {
+		return uint32(w >> 32)
+	}
+	return uint32(w)
+}
+func (b *backing) write32(addr uint64, v uint32) {
+	p := b.lineOf(addr)
+	i := (addr >> 3) & 7
+	if addr&4 != 0 {
+		p[i] = p[i]&0x00000000FFFFFFFF | uint64(v)<<32
+	} else {
+		p[i] = p[i]&^uint64(0xFFFFFFFF) | uint64(v)
+	}
+}
+
+// privLine is the coherence payload of a private (L2) cache line.
+type privLine struct {
+	state coh.State
+	otype ops.Type  // operation type when state == U
+	buf   *ops.Line // partial updates when state == U
+}
+
+// dirLine is the payload of an L3/L4 in-cache-directory entry. At the L3 it
+// tracks the cores of one chip; at the L4 it tracks chips. cstate is only
+// meaningful at the L3: the chip's own permission granted by the global
+// directory (S, U, E or M).
+type dirLine struct {
+	sharers uint64 // bitvector of children holding non-exclusive copies
+	owner   int16  // child holding E/M, or -1
+	otype   ops.Type
+	dirty   bool
+	cstate  coh.State
+}
+
+func (d *dirLine) hasChildren() bool { return d.sharers != 0 || d.owner >= 0 }
+
+// bank models one L3/L4 bank: directory/tag pipeline occupancy, per-line
+// transaction serialization, and the bank's reduction unit (Sec 3.1.1).
+type bank struct {
+	busyUntil uint64
+	redBusy   uint64
+	lineBusy  map[uint64]uint64
+}
+
+func newBank() *bank { return &bank{lineBusy: make(map[uint64]uint64)} }
+
+type privCache struct {
+	l1 *array[struct{}]
+	l2 *array[privLine]
+}
+
+type l3cache struct {
+	chip  int
+	arr   *array[dirLine]
+	banks []*bank
+}
+
+func (l *l3cache) bank(line uint64) *bank { return l.banks[mixLine(line)%uint64(len(l.banks))] }
+
+type l4cache struct {
+	arr   *array[dirLine]
+	banks []*bank
+	chans []uint64 // per-DRAM-channel busy-until
+}
+
+func (l *l4cache) bank(line uint64) *bank { return l.banks[mixLine(line)%uint64(len(l.banks))] }
+func (l *l4cache) channel(line uint64) *uint64 {
+	return &l.chans[(mixLine(line)>>8)%uint64(len(l.chans))]
+}
+
+// mixLine hashes a line address so banks interleave well even for strided
+// footprints.
+func mixLine(l uint64) uint64 {
+	l ^= l >> 17
+	l *= 0xED5AD4BB
+	l ^= l >> 11
+	return l
+}
+
+// shReq classifies the permission a private cache requests from the
+// directory hierarchy.
+type shReq uint8
+
+const (
+	shGetS shReq = iota // read permission
+	shGetX              // exclusive permission
+	shGetU              // update-only permission (COUP)
+)
+
+type hierarchy struct {
+	cfg    *Config
+	st     *Stats
+	store  *backing
+	priv   []*privCache
+	chips  []*l3cache
+	l4     *l4cache
+	jrng   rng
+	nChips int
+	hasU   bool
+}
+
+func newHierarchy(cfg *Config, st *Stats) *hierarchy {
+	n := cfg.Chips()
+	h := &hierarchy{
+		cfg:    cfg,
+		st:     st,
+		store:  newBacking(),
+		nChips: n,
+		hasU:   cfg.Protocol.HasU(),
+		jrng:   newRNG(cfg.Seed ^ 0xC0FFEE),
+	}
+	h.priv = make([]*privCache, cfg.Cores)
+	for i := range h.priv {
+		h.priv[i] = &privCache{
+			l1: newArray[struct{}](cfg.L1Size, cfg.L1Ways),
+			l2: newArray[privLine](cfg.L2Size, cfg.L2Ways),
+		}
+	}
+	h.chips = make([]*l3cache, n)
+	for i := range h.chips {
+		c := &l3cache{chip: i, arr: newArray[dirLine](cfg.L3Size, cfg.L3Ways)}
+		for b := 0; b < cfg.L3Banks; b++ {
+			c.banks = append(c.banks, newBank())
+		}
+		h.chips[i] = c
+	}
+	h.l4 = &l4cache{arr: newArray[dirLine](cfg.L4Size*n, cfg.L4Ways)}
+	for b := 0; b < cfg.L4Banks*n; b++ {
+		h.l4.banks = append(h.l4.banks, newBank())
+	}
+	h.l4.chans = make([]uint64, cfg.MemChannels*n)
+	return h
+}
+
+// txn threads time and latency attribution through one transaction.
+type txn struct {
+	now uint64
+	bd  Breakdown
+}
+
+func (t *txn) adv(cycles uint64, bucket *uint64) {
+	t.now += cycles
+	*bucket += cycles
+}
+
+// waitUntil advances time to at least abs, charging the wait to bucket.
+func (t *txn) waitUntil(abs uint64, bucket *uint64) {
+	if abs > t.now {
+		*bucket += abs - t.now
+		t.now = abs
+	}
+}
+
+func (h *hierarchy) jitter() uint64 {
+	if h.cfg.Jitter == 0 {
+		return 0
+	}
+	return h.jrng.intn(h.cfg.Jitter + 1)
+}
+
+const invalidOwner = -1
+
+func bit(i int) uint64 { return 1 << uint(i) }
+
+// invalRTT is the round-trip cost of the L3 directory invalidating or
+// downgrading one of its cores' private caches.
+func (h *hierarchy) invalRTT() uint64 { return 2*h.cfg.OnChipHop + h.cfg.L2Lat }
+
+// access performs one core memory operation: functional effect plus
+// critical-path latency. It returns the operation's total latency.
+func (h *hierarchy) access(c *core) uint64 {
+	r := &c.req
+	h.st.Accesses++
+	switch r.kind {
+	case opLoad:
+		h.st.Loads++
+	case opStore:
+		h.st.Stores++
+	case opRMW, opCAS:
+		h.st.Atomics++
+	case opComm:
+		h.st.CommUpdates++
+	}
+
+	if h.cfg.Protocol == RMO && r.kind == opComm {
+		return h.rmoUpdate(c)
+	}
+
+	line := r.addr >> 6
+	pc := h.priv[c.id]
+	tx := txn{now: c.time}
+
+	// Private-cache fast path.
+	if l2s := pc.l2.lookup(line); l2s != nil && h.privSufficient(&l2s.p, r) {
+		if pc.l1.lookup(line) != nil {
+			h.st.L1Hits++
+			tx.adv(h.cfg.L1Lat, &tx.bd.L1)
+		} else {
+			h.st.L2Hits++
+			tx.adv(h.cfg.L1Lat, &tx.bd.L1)
+			tx.adv(h.cfg.L2Lat, &tx.bd.L2)
+			pc.l1.insert(line) // L1 fills silently; L2 is inclusive
+		}
+		if r.kind == opRMW || r.kind == opCAS || r.kind == opComm {
+			tx.adv(h.cfg.AtomicOverhead, &tx.bd.L1)
+		}
+		if r.kind == opComm {
+			h.st.ULocalHits++ // COUP's fast path: buffered locally
+		}
+		h.applyPriv(c, &l2s.p, r)
+		h.st.Breakdown.add(tx.bd)
+		return tx.now - c.time
+	}
+
+	// Miss path. First fold and drop our own insufficient copy: its partial
+	// update (U) travels with the request and is folded by the reduction the
+	// directory is about to run; a read-only copy (S) is dropped by the
+	// upgrade.
+	ci := c.id % h.cfg.CoresPerChip
+	ch := h.chips[c.chip]
+	if l2s := pc.l2.peek(line); l2s != nil {
+		if l2s.p.state == coh.U {
+			h.foldBufferAt(line, &l2s.p)
+		}
+		pc.l2.invalidate(line)
+		pc.l1.invalidate(line)
+		if e := ch.arr.peek(line); e != nil {
+			e.p.sharers &^= bit(ci)
+			if e.p.owner == int16(ci) {
+				e.p.owner = invalidOwner
+			}
+		}
+	}
+
+	tx.adv(h.cfg.L1Lat, &tx.bd.L1)
+	tx.adv(h.cfg.L2Lat, &tx.bd.L2)
+
+	var rq shReq
+	switch r.kind {
+	case opLoad:
+		rq = shGetS
+	case opStore, opRMW, opCAS:
+		rq = shGetX
+	case opComm:
+		rq = shGetU
+	}
+
+	grant := h.l3Access(c, line, rq, r.otype, &tx)
+
+	// Fill the private cache with the granted line and apply the operation.
+	h.fillPriv(c, line, grant, r.otype)
+	if r.kind == opRMW || r.kind == opCAS || r.kind == opComm {
+		tx.adv(h.cfg.AtomicOverhead, &tx.bd.L1)
+	}
+	l2s := pc.l2.peek(line)
+	h.applyPriv(c, &l2s.p, r)
+	h.st.Breakdown.add(tx.bd)
+	return tx.now - c.time
+}
+
+// privSufficient reports whether the private line's permissions satisfy r
+// locally.
+func (h *hierarchy) privSufficient(p *privLine, r *request) bool {
+	switch r.kind {
+	case opLoad:
+		return p.state.CanRead()
+	case opStore, opRMW, opCAS:
+		return p.state.Exclusive()
+	case opComm:
+		return p.state.Exclusive() || (p.state == coh.U && p.otype == r.otype)
+	}
+	return false
+}
+
+// applyPriv performs the functional effect of r against a line the private
+// cache now has sufficient permission for.
+func (h *hierarchy) applyPriv(c *core, p *privLine, r *request) {
+	switch r.kind {
+	case opLoad:
+		if r.width == 4 {
+			r.out = uint64(h.store.read32(r.addr))
+		} else {
+			r.out = h.store.read64(r.addr)
+		}
+	case opStore:
+		if p.state == coh.E {
+			p.state = coh.M
+		}
+		if r.width == 4 {
+			h.store.write32(r.addr, uint32(r.val))
+		} else {
+			h.store.write64(r.addr, r.val)
+		}
+	case opRMW:
+		if p.state == coh.E {
+			p.state = coh.M
+		}
+		var old uint64
+		if r.width == 4 {
+			old = uint64(h.store.read32(r.addr))
+		} else {
+			old = h.store.read64(r.addr)
+		}
+		var nv uint64
+		switch r.rop {
+		case rmwAdd:
+			nv = old + r.val
+		case rmwOr:
+			nv = old | r.val
+		case rmwAnd:
+			nv = old & r.val
+		case rmwXor:
+			nv = old ^ r.val
+		case rmwXchg:
+			nv = r.val
+		}
+		if r.width == 4 {
+			h.store.write32(r.addr, uint32(nv))
+		} else {
+			h.store.write64(r.addr, nv)
+		}
+		r.out = old
+	case opCAS:
+		if p.state == coh.E {
+			p.state = coh.M
+		}
+		var old uint64
+		if r.width == 4 {
+			old = uint64(h.store.read32(r.addr))
+		} else {
+			old = h.store.read64(r.addr)
+		}
+		r.out = old
+		r.ok = old == r.cmp
+		if r.ok {
+			if r.width == 4 {
+				h.store.write32(r.addr, uint32(r.val))
+			} else {
+				h.store.write64(r.addr, r.val)
+			}
+		}
+	case opComm:
+		if p.state == coh.U {
+			// Buffer and coalesce locally (Sec 3.1.2).
+			w := (r.addr >> 3) & 7
+			p.buf[w] = ops.ApplyAt(r.otype, p.buf[w], uint(r.addr&7), r.val)
+			return
+		}
+		// Exclusive states apply in place.
+		if p.state == coh.E {
+			p.state = coh.M
+		}
+		w := (r.addr >> 3) & 7
+		ln := h.store.lineOf(r.addr)
+		ln[w] = ops.ApplyAt(r.otype, ln[w], uint(r.addr&7), r.val)
+	}
+}
+
+// fillPriv installs a line in the requesting core's L1/L2 with the granted
+// state.
+func (h *hierarchy) fillPriv(c *core, line uint64, grant coh.State, t ops.Type) {
+	pc := h.priv[c.id]
+	s, vtag, vp, evicted := pc.l2.insert(line)
+	if evicted {
+		h.evictPrivLine(c, vtag, &vp)
+		pc.l1.invalidate(vtag)
+	}
+	s.p = privLine{state: grant}
+	if grant == coh.U {
+		b := ops.IdentityLine(t)
+		s.p.buf = &b
+		s.p.otype = t
+	}
+	pc.l1.insert(line)
+}
+
+// evictPrivLine handles an L2 capacity eviction: partial reduction for U
+// lines (Fig 5c), writeback for M, and directory notification (no silent
+// drops). These are off the requester's critical path; only traffic,
+// reduction-unit occupancy and directory state are updated.
+func (h *hierarchy) evictPrivLine(c *core, line uint64, p *privLine) {
+	ch := h.chips[c.chip]
+	ci := c.id % h.cfg.CoresPerChip
+	e := ch.arr.peek(line)
+	if e == nil {
+		panic(fmt.Sprintf("sim: inclusion violated — L2 line %#x missing from L3", line))
+	}
+	switch p.state {
+	case coh.U:
+		h.foldBufferAt(line, p)
+		h.st.PartialReductions++
+		h.onChip(dataBytes) // partial update travels with the eviction
+		ch.bank(line).redBusy += h.cfg.ReduceCyclesPerLine
+		e.p.sharers &^= bit(ci)
+	case coh.M:
+		h.onChip(dataBytes)
+		e.p.dirty = true
+		if e.p.owner == int16(ci) {
+			e.p.owner = invalidOwner
+		}
+	case coh.E:
+		h.onChip(ctrlBytes)
+		if e.p.owner == int16(ci) {
+			e.p.owner = invalidOwner
+		}
+	case coh.S:
+		h.onChip(ctrlBytes)
+		e.p.sharers &^= bit(ci)
+	}
+}
+
+// foldBufferAt folds the partial updates of a U line into the backing image.
+func (h *hierarchy) foldBufferAt(line uint64, p *privLine) {
+	if p.buf == nil || !p.otype.IsUpdate() {
+		return
+	}
+	base := h.store.lines[line]
+	if base == nil {
+		base = new(ops.Line)
+		h.store.lines[line] = base
+	}
+	ops.Reduce(p.otype, base, p.buf)
+	p.buf = nil
+}
+
+func (h *hierarchy) onChip(bytes uint64) {
+	h.st.OnChipMsgs++
+	h.st.OnChipBytes += bytes
+}
+
+func (h *hierarchy) offChip(bytes uint64) {
+	h.st.OffChipMsgs++
+	h.st.OffChipBytes += bytes
+}
+
+// l3Access obtains the requested permission for core c from its chip's L3
+// directory, escalating to the L4 global directory when the chip's own
+// permission is insufficient. It returns the state to install in the
+// private cache.
+func (h *hierarchy) l3Access(c *core, line uint64, rq shReq, t ops.Type, tx *txn) coh.State {
+	ch := h.chips[c.chip]
+	b := ch.bank(line)
+	ci := c.id % h.cfg.CoresPerChip
+
+	// Serialize against other transactions on this line and this bank.
+	tx.waitUntil(b.lineBusy[line], &tx.bd.L3)
+	tx.waitUntil(b.busyUntil, &tx.bd.L3)
+	b.busyUntil = tx.now + h.cfg.DirBankService
+	tx.adv(h.cfg.L3Lat+h.jitter(), &tx.bd.L3)
+	h.onChip(ctrlBytes)
+
+	e := ch.arr.lookup(line)
+	if e == nil {
+		// Chip-level miss: obtain chip permission from the L4, then allocate
+		// the (inclusive) L3 entry.
+		cstate := h.l4Access(c, line, rq, t, tx)
+		s, vtag, vp, evicted := ch.arr.insert(line)
+		if evicted {
+			h.evictL3Line(ch, vtag, &vp)
+		}
+		s.p = dirLine{owner: invalidOwner, cstate: cstate}
+		e = s
+	} else if !h.chipSufficient(&e.p, rq, t) {
+		cstate := h.l4Access(c, line, rq, t, tx)
+		e = ch.arr.peek(line) // l4Access may have invalidated our entry
+		if e == nil {
+			s, vtag, vp, evicted := ch.arr.insert(line)
+			if evicted {
+				h.evictL3Line(ch, vtag, &vp)
+			}
+			s.p = dirLine{owner: invalidOwner}
+			e = s
+		}
+		e.p.cstate = cstate
+	} else {
+		h.st.L3Hits++
+	}
+
+	grant := h.resolveInChip(c, ch, b, &e.p, line, rq, t, tx, ci)
+	b.lineBusy[line] = tx.now
+	return grant
+}
+
+// chipSufficient reports whether the chip's global permission covers rq.
+func (h *hierarchy) chipSufficient(d *dirLine, rq shReq, t ops.Type) bool {
+	switch rq {
+	case shGetS:
+		return d.cstate == coh.S || d.cstate.Exclusive()
+	case shGetX:
+		return d.cstate.Exclusive()
+	case shGetU:
+		if d.cstate.Exclusive() {
+			return true
+		}
+		return d.cstate == coh.U && d.otype == t
+	}
+	return false
+}
+
+// resolveInChip resolves the in-chip directory actions once the chip itself
+// holds sufficient permission, and returns the state granted to the core.
+func (h *hierarchy) resolveInChip(c *core, ch *l3cache, b *bank, d *dirLine, line uint64, rq shReq, t ops.Type, tx *txn, ci int) coh.State {
+	switch rq {
+	case shGetS:
+		if d.owner >= 0 {
+			// Downgrade the in-chip owner; it keeps a read-only copy.
+			h.downgradeCore(ch.chip, int(d.owner), line, coh.S, ops.Read)
+			tx.adv(h.invalRTT(), &tx.bd.L3)
+			d.sharers |= bit(int(d.owner))
+			d.owner = invalidOwner
+			d.dirty = true
+			d.otype = ops.Read
+		} else if d.sharers != 0 && d.otype.IsUpdate() {
+			// In-chip full reduction (Fig 5d), permitted because the chip is
+			// exclusive (otherwise l4Access already ran a global reduction).
+			h.reduceChipCores(ch, b, d, line, tx, &tx.bd.L3)
+			d.otype = ops.Read
+			h.st.TypeSwitches++
+		}
+		d.sharers |= bit(ci)
+		d.otype = ops.Read
+		if d.sharers == bit(ci) && d.cstate.Exclusive() && h.cfg.Protocol.Kind().HasE() {
+			// Sole copy anywhere: exclusive-clean grant.
+			d.sharers = 0
+			d.owner = int16(ci)
+			return coh.E
+		}
+		return coh.S
+
+	case shGetX:
+		if d.owner >= 0 {
+			h.invalidateCore(ch.chip, int(d.owner), line)
+			tx.adv(h.invalRTT(), &tx.bd.L3)
+			d.dirty = true
+			d.owner = invalidOwner
+		}
+		if d.sharers != 0 {
+			if d.otype.IsUpdate() {
+				h.reduceChipCores(ch, b, d, line, tx, &tx.bd.L3)
+			} else {
+				h.invalidateChipSharers(ch, d, line, tx, &tx.bd.L3)
+			}
+		}
+		d.owner = int16(ci)
+		d.sharers = 0
+		d.cstate = coh.M
+		d.dirty = true
+		return coh.M
+
+	case shGetU:
+		if d.owner >= 0 {
+			// Fig 5b: downgrade the owner M→U; it stays a sharer with an
+			// identity buffer, and its value is written back (to the backing
+			// image here).
+			h.downgradeCore(ch.chip, int(d.owner), line, coh.U, t)
+			tx.adv(h.invalRTT(), &tx.bd.L3)
+			d.sharers |= bit(int(d.owner))
+			d.owner = invalidOwner
+			d.dirty = true
+			d.otype = t
+		} else if d.sharers != 0 {
+			if !d.otype.IsUpdate() {
+				// Invalidate read-only copies (Fig 5a).
+				h.invalidateChipSharers(ch, d, line, tx, &tx.bd.L3)
+				h.st.TypeSwitches++
+			} else if d.otype != t {
+				// Serialize different update types via full reduction.
+				h.reduceChipCores(ch, b, d, line, tx, &tx.bd.L3)
+				h.st.TypeSwitches++
+			}
+		}
+		if d.sharers == 0 && d.owner < 0 && d.cstate.Exclusive() && h.cfg.Protocol.Kind().HasE() {
+			// Fig 6: update request on an unshared line is granted in M.
+			d.owner = int16(ci)
+			d.dirty = true
+			return coh.M
+		}
+		d.sharers |= bit(ci)
+		d.otype = t
+		h.st.UGrants++
+		return coh.U
+	}
+	panic("unreachable")
+}
+
+// downgradeCore demotes a core's private copy from M/E to S or U.
+func (h *hierarchy) downgradeCore(chip, ci int, line uint64, to coh.State, t ops.Type) {
+	coreID := chip*h.cfg.CoresPerChip + ci
+	pc := h.priv[coreID]
+	s := pc.l2.peek(line)
+	if s == nil {
+		panic(fmt.Sprintf("sim: directory thinks core %d owns %#x but L2 misses", coreID, line))
+	}
+	h.st.Downgrades++
+	if s.p.state == coh.M {
+		h.onChip(dataBytes) // dirty value written back
+	} else {
+		h.onChip(ctrlBytes)
+	}
+	s.p.state = to
+	if to == coh.U {
+		b := ops.IdentityLine(t)
+		s.p.buf = &b
+		s.p.otype = t
+	} else {
+		s.p.buf = nil
+		s.p.otype = ops.Read
+	}
+}
+
+// invalidateCore removes a core's private copy, folding partial updates and
+// accounting the ack traffic.
+func (h *hierarchy) invalidateCore(chip, ci int, line uint64) {
+	coreID := chip*h.cfg.CoresPerChip + ci
+	pc := h.priv[coreID]
+	s := pc.l2.peek(line)
+	if s == nil {
+		panic(fmt.Sprintf("sim: directory thinks core %d holds %#x but L2 misses", coreID, line))
+	}
+	h.st.Invalidations++
+	switch s.p.state {
+	case coh.U:
+		h.foldBufferAt(line, &s.p)
+		h.onChip(dataBytes)
+	case coh.M:
+		h.onChip(dataBytes)
+	default:
+		h.onChip(ctrlBytes)
+	}
+	pc.l2.invalidate(line)
+	pc.l1.invalidate(line)
+}
+
+// invalidateChipSharers invalidates every in-chip non-exclusive copy.
+// Critical path: one round trip plus a small fan-out cost per extra sharer.
+func (h *hierarchy) invalidateChipSharers(ch *l3cache, d *dirLine, line uint64, tx *txn, bucket *uint64) {
+	n := 0
+	for ci := 0; ci < h.cfg.CoresPerChip; ci++ {
+		if d.sharers&bit(ci) != 0 {
+			h.invalidateCore(ch.chip, ci, line)
+			n++
+		}
+	}
+	d.sharers = 0
+	if n > 0 {
+		tx.adv(h.invalRTT()+uint64(n-1), bucket)
+	}
+}
+
+// reduceChipCores performs an in-chip full reduction: every U copy is
+// invalidated, its partial update folded by the bank's reduction unit.
+func (h *hierarchy) reduceChipCores(ch *l3cache, b *bank, d *dirLine, line uint64, tx *txn, bucket *uint64) {
+	n := 0
+	for ci := 0; ci < h.cfg.CoresPerChip; ci++ {
+		if d.sharers&bit(ci) != 0 {
+			h.invalidateCore(ch.chip, ci, line)
+			n++
+		}
+	}
+	d.sharers = 0
+	if n == 0 {
+		return
+	}
+	h.st.FullReductions++
+	tx.adv(h.invalRTT()+uint64(n-1), bucket)
+	// Reduction unit occupancy: n partial lines through the pipelined ALU.
+	start := tx.now
+	if b.redBusy > start {
+		tx.waitUntil(b.redBusy, bucket)
+	}
+	tx.adv(h.cfg.ReduceLatency+uint64(n)*h.cfg.ReduceCyclesPerLine, bucket)
+	b.redBusy = tx.now
+	d.dirty = true
+}
+
+// evictL3Line handles an inclusive L3 capacity eviction: recall every core
+// copy in this chip, then notify/write back to the L4. Off the critical
+// path; traffic and directory state only.
+func (h *hierarchy) evictL3Line(ch *l3cache, line uint64, d *dirLine) {
+	if d.owner >= 0 {
+		h.invalidateCore(ch.chip, int(d.owner), line)
+		d.dirty = true
+	}
+	nU := 0
+	for ci := 0; ci < h.cfg.CoresPerChip; ci++ {
+		if d.sharers&bit(ci) != 0 {
+			cid := ch.chip*h.cfg.CoresPerChip + ci
+			if s := h.priv[cid].l2.peek(line); s != nil && s.p.state == coh.U {
+				nU++
+			}
+			h.invalidateCore(ch.chip, ci, line)
+		}
+	}
+	if nU > 0 {
+		h.st.PartialReductions++
+		ch.bank(line).redBusy += uint64(nU) * h.cfg.ReduceCyclesPerLine
+	}
+	// Update the global directory: this chip no longer caches the line.
+	ge := h.l4.arr.peek(line)
+	if ge == nil {
+		panic(fmt.Sprintf("sim: inclusion violated — L3 line %#x missing from L4", line))
+	}
+	if ge.p.owner == int16(ch.chip) {
+		ge.p.owner = invalidOwner
+		ge.p.dirty = true
+	}
+	ge.p.sharers &^= bit(ch.chip)
+	if d.dirty || d.cstate == coh.U {
+		h.offChip(dataBytes)
+		ge.p.dirty = true
+	} else {
+		h.offChip(ctrlBytes)
+	}
+}
+
+// l4Access obtains chip-level permission for c's chip from the global
+// directory, performing cross-chip invalidations, downgrades and global
+// reductions as needed. It returns the chip state granted (S, U, or M for
+// exclusive).
+func (h *hierarchy) l4Access(c *core, line uint64, rq shReq, t ops.Type, tx *txn) coh.State {
+	b := h.l4.bank(line)
+	p := c.chip
+
+	tx.adv(2*h.cfg.LinkLat, &tx.bd.Net) // request + reply link traversals
+	tx.waitUntil(b.lineBusy[line], &tx.bd.L4Inval)
+	tx.waitUntil(b.busyUntil, &tx.bd.L4)
+	b.busyUntil = tx.now + h.cfg.DirBankService
+	tx.adv(h.cfg.L4Lat+h.jitter(), &tx.bd.L4)
+	h.offChip(ctrlBytes)
+
+	ge := h.l4.arr.lookup(line)
+	if ge == nil {
+		// Global miss: fetch from memory. Update-only requests need no data
+		// (the line starts at the identity element); the fill happens off
+		// the critical path.
+		if rq == shGetU {
+			h.memAccessBackground(line)
+		} else {
+			h.memAccess(line, tx)
+		}
+		s, vtag, vp, evicted := h.l4.arr.insert(line)
+		if evicted {
+			h.evictL4Line(vtag, &vp)
+		}
+		s.p = dirLine{owner: invalidOwner}
+		ge = s
+	} else {
+		h.st.L4Hits++
+	}
+
+	d := &ge.p
+	grant := h.resolveGlobal(p, d, line, rq, t, tx)
+	b.lineBusy[line] = tx.now
+	h.offChip(dataBytes) // grant reply (data or permission+identity metadata)
+	return grant
+}
+
+// resolveGlobal applies the cross-chip directory actions for chip p's
+// request and returns the granted chip state.
+func (h *hierarchy) resolveGlobal(p int, d *dirLine, line uint64, rq shReq, t ops.Type, tx *txn) coh.State {
+	hasE := h.cfg.Protocol.Kind().HasE()
+	switch rq {
+	case shGetS:
+		if d.owner >= 0 && d.owner != int16(p) {
+			h.downgradeChip(int(d.owner), line, coh.S, ops.Read, tx)
+			d.sharers |= bit(int(d.owner))
+			d.owner = invalidOwner
+			d.dirty = true
+			d.otype = ops.Read
+		} else if d.owner == int16(p) {
+			d.sharers |= bit(p)
+			d.owner = invalidOwner
+		}
+		if d.sharers != 0 && d.otype.IsUpdate() {
+			h.globalReduction(d, line, tx)
+			h.st.TypeSwitches++
+		}
+		d.otype = ops.Read
+		d.sharers |= bit(p)
+		if d.sharers == bit(p) && hasE {
+			d.sharers = 0
+			d.owner = int16(p)
+			return coh.M // chip-exclusive
+		}
+		return coh.S
+
+	case shGetX:
+		if d.owner >= 0 && d.owner != int16(p) {
+			h.invalidateChip(int(d.owner), line, tx)
+			d.dirty = true
+			d.owner = invalidOwner
+		}
+		if d.sharers != 0 {
+			if d.otype.IsUpdate() {
+				h.globalReduction(d, line, tx)
+			} else {
+				h.invalidateGlobalSharers(d, line, p, tx)
+			}
+		}
+		d.owner = int16(p)
+		d.sharers = 0
+		d.dirty = true
+		return coh.M
+
+	case shGetU:
+		if d.owner >= 0 && d.owner != int16(p) {
+			// Downgrade the owning chip to update-only; it keeps U copies.
+			h.downgradeChip(int(d.owner), line, coh.U, t, tx)
+			d.sharers |= bit(int(d.owner))
+			d.owner = invalidOwner
+			d.dirty = true
+			d.otype = t
+		} else if d.owner == int16(p) {
+			d.sharers |= bit(p)
+			d.owner = invalidOwner
+			d.otype = t
+		}
+		if d.sharers != 0 {
+			if !d.otype.IsUpdate() {
+				h.invalidateGlobalSharers(d, line, p, tx)
+				h.st.TypeSwitches++
+			} else if d.otype != t {
+				h.globalReduction(d, line, tx)
+				h.st.TypeSwitches++
+			}
+		}
+		if d.sharers&^bit(p) == 0 && d.owner < 0 && hasE {
+			// Fig 6: no other chip holds a copy — exclusive chip grant.
+			d.owner = int16(p)
+			d.sharers = 0
+			d.dirty = true
+			return coh.M
+		}
+		d.sharers |= bit(p)
+		d.otype = t
+		return coh.U
+	}
+	panic("unreachable")
+}
+
+// downgradeChip demotes chip q's copy to S or U(t). Its in-chip owner (if
+// any) is downgraded the same way; internal copies incompatible with the
+// new chip state are reduced (U copies before a read grant) or invalidated
+// (S copies before an update grant). The chip keeps its L3 entry.
+func (h *hierarchy) downgradeChip(q int, line uint64, to coh.State, t ops.Type, tx *txn) {
+	ch := h.chips[q]
+	e := ch.arr.peek(line)
+	if e == nil {
+		panic(fmt.Sprintf("sim: L4 thinks chip %d owns %#x but L3 misses", q, line))
+	}
+	d := &e.p
+	newType := ops.Read
+	if to == coh.U {
+		newType = t
+	}
+	cost := 2 * h.cfg.LinkLat
+	if d.owner >= 0 {
+		h.downgradeCore(q, int(d.owner), line, to, t)
+		d.sharers |= bit(int(d.owner))
+		d.owner = invalidOwner
+		d.otype = newType
+		d.dirty = true
+		cost += h.invalRTT()
+	} else if d.sharers != 0 && d.otype != newType {
+		var sub txn
+		sub.now = tx.now
+		if d.otype.IsUpdate() {
+			// Internal partial updates must be reduced before the chip's
+			// permission weakens (hierarchical reduction, Sec 3.2).
+			h.reduceChipCores(ch, ch.bank(line), d, line, &sub, &sub.bd.L4Inval)
+		} else {
+			// Internal read-only copies cannot survive an update-only grant.
+			h.invalidateChipSharers(ch, d, line, &sub, &sub.bd.L4Inval)
+		}
+		cost += sub.now - tx.now
+		d.otype = newType
+	}
+	d.cstate = to
+	h.st.Downgrades++
+	h.offChip(dataBytes)
+	tx.adv(cost, &tx.bd.L4Inval)
+}
+
+// invalidateChip removes chip q's copy entirely (all core copies plus the
+// L3 entry), folding partial updates.
+func (h *hierarchy) invalidateChip(q int, line uint64, tx *txn) uint64 {
+	ch := h.chips[q]
+	e := ch.arr.peek(line)
+	if e == nil {
+		panic(fmt.Sprintf("sim: L4 thinks chip %d holds %#x but L3 misses", q, line))
+	}
+	cost := 2 * h.cfg.LinkLat
+	if e.p.owner >= 0 {
+		h.invalidateCore(q, int(e.p.owner), line)
+		cost += h.invalRTT()
+	}
+	nU := 0
+	for ci := 0; ci < h.cfg.CoresPerChip; ci++ {
+		if e.p.sharers&bit(ci) != 0 {
+			cid := q*h.cfg.CoresPerChip + ci
+			if s := h.priv[cid].l2.peek(line); s != nil && s.p.state == coh.U {
+				nU++
+			}
+			h.invalidateCore(q, ci, line)
+		}
+	}
+	if e.p.sharers != 0 {
+		cost += h.invalRTT()
+	}
+	if nU > 0 {
+		// Hierarchical reduction: the chip's reduction unit aggregates its
+		// cores' partials before one response crosses the link (Sec 3.2).
+		cost += h.cfg.ReduceLatency + uint64(nU)*h.cfg.ReduceCyclesPerLine
+	}
+	dirty := e.p.dirty || e.p.cstate == coh.U || nU > 0
+	ch.arr.invalidate(line)
+	h.st.Invalidations++
+	if dirty {
+		h.offChip(dataBytes)
+	} else {
+		h.offChip(ctrlBytes)
+	}
+	tx.adv(cost, &tx.bd.L4Inval)
+	return cost
+}
+
+// invalidateGlobalSharers invalidates every sharer chip except keep (the
+// requester, which upgrades in place). Chips are invalidated in parallel;
+// the critical path is the slowest chip plus a per-chip fan-out cycle.
+func (h *hierarchy) invalidateGlobalSharers(d *dirLine, line uint64, keep int, tx *txn) {
+	start := tx.now
+	var maxEnd uint64
+	n := 0
+	for q := 0; q < h.nChips; q++ {
+		if d.sharers&bit(q) == 0 {
+			continue
+		}
+		if q == keep {
+			// The requester chip's own non-exclusive copies are handled by
+			// the in-chip resolution step; here it just upgrades.
+			continue
+		}
+		var sub txn
+		sub.now = start
+		h.invalidateChip(q, line, &sub)
+		if sub.now > maxEnd {
+			maxEnd = sub.now
+		}
+		n++
+	}
+	d.sharers &= bit(keep)
+	if n > 0 {
+		tx.waitUntil(maxEnd+uint64(n-1), &tx.bd.L4Inval)
+	}
+}
+
+// globalReduction gathers and reduces every chip's partial updates
+// (hierarchically: each chip aggregates its own cores first), leaving the
+// line uncached below the L4.
+func (h *hierarchy) globalReduction(d *dirLine, line uint64, tx *txn) {
+	start := tx.now
+	var maxEnd uint64
+	n := 0
+	for q := 0; q < h.nChips; q++ {
+		if d.sharers&bit(q) == 0 {
+			continue
+		}
+		var sub txn
+		sub.now = start
+		h.invalidateChip(q, line, &sub)
+		if sub.now > maxEnd {
+			maxEnd = sub.now
+		}
+		n++
+	}
+	d.sharers = 0
+	if n == 0 {
+		return
+	}
+	h.st.FullReductions++
+	tx.waitUntil(maxEnd+uint64(n-1), &tx.bd.L4Inval)
+	// L4 reduction unit folds the per-chip partials.
+	b := h.l4.bank(line)
+	units := uint64(n)
+	if h.cfg.FlatReductions {
+		// Ablation: no per-chip aggregation; one partial per core instead.
+		units = uint64(n * h.cfg.CoresPerChip)
+	}
+	if b.redBusy > tx.now {
+		tx.waitUntil(b.redBusy, &tx.bd.L4Inval)
+	}
+	tx.adv(h.cfg.ReduceLatency+units*h.cfg.ReduceCyclesPerLine, &tx.bd.L4Inval)
+	b.redBusy = tx.now
+	d.dirty = true
+}
+
+// evictL4Line recalls a line from every chip and writes it back to memory
+// if dirty. Off the critical path.
+func (h *hierarchy) evictL4Line(line uint64, d *dirLine) {
+	var scratch txn
+	if d.owner >= 0 {
+		h.invalidateChip(int(d.owner), line, &scratch)
+		d.dirty = true
+	}
+	for q := 0; q < h.nChips; q++ {
+		if d.sharers&bit(q) != 0 {
+			h.invalidateChip(q, line, &scratch)
+		}
+	}
+	if d.dirty {
+		h.memWriteBackground(line)
+	}
+}
+
+// memAccess charges a critical-path DRAM access.
+func (h *hierarchy) memAccess(line uint64, tx *txn) {
+	h.st.MemAccs++
+	ch := h.l4.channel(line)
+	tx.waitUntil(*ch, &tx.bd.Mem)
+	*ch = tx.now + h.cfg.MemChannelService
+	tx.adv(h.cfg.MemLat+h.jitter(), &tx.bd.Mem)
+	h.st.MemBytes += 64
+}
+
+// memAccessBackground models a fill that is not on the critical path (the
+// update-only grant does not wait for data, Sec 2.1's "updates need not
+// read the data they update").
+func (h *hierarchy) memAccessBackground(line uint64) {
+	h.st.MemAccs++
+	ch := h.l4.channel(line)
+	*ch += h.cfg.MemChannelService
+	h.st.MemBytes += 64
+}
+
+func (h *hierarchy) memWriteBackground(line uint64) {
+	ch := h.l4.channel(line)
+	*ch += h.cfg.MemChannelService
+	h.st.MemBytes += 64
+}
+
+// rmoUpdate executes a commutative update remotely at the line's home L4
+// bank (Fig 1b): no caching by the updater, every update crosses the
+// network, and the bank ALU is the serialization point.
+func (h *hierarchy) rmoUpdate(c *core) uint64 {
+	r := &c.req
+	line := r.addr >> 6
+	tx := txn{now: c.time}
+	tx.adv(h.cfg.L1Lat, &tx.bd.L1)
+
+	// Drop any local copy; remote updates do not cache.
+	pc := h.priv[c.id]
+	if s := pc.l2.peek(line); s != nil {
+		pc.l2.invalidate(line)
+		pc.l1.invalidate(line)
+		if e := h.chips[c.chip].arr.peek(line); e != nil {
+			ci := c.id % h.cfg.CoresPerChip
+			e.p.sharers &^= bit(ci)
+			if e.p.owner == int16(ci) {
+				e.p.owner = invalidOwner
+			}
+		}
+	}
+
+	b := h.l4.bank(line)
+	tx.adv(2*h.cfg.LinkLat, &tx.bd.Net)
+	tx.waitUntil(b.lineBusy[line], &tx.bd.L4Inval)
+	tx.waitUntil(b.busyUntil, &tx.bd.L4)
+	b.busyUntil = tx.now + h.cfg.DirBankService
+	tx.adv(h.cfg.L4Lat, &tx.bd.L4)
+	h.offChip(ctrlBytes + 8) // address + operand
+
+	ge := h.l4.arr.lookup(line)
+	if ge == nil {
+		h.memAccess(line, &tx)
+		s, vtag, vp, evicted := h.l4.arr.insert(line)
+		if evicted {
+			h.evictL4Line(vtag, &vp)
+		}
+		s.p = dirLine{owner: invalidOwner}
+		ge = s
+	} else if ge.p.hasChildren() {
+		// Invalidate cached copies so the remote ALU operates on the only
+		// valid version.
+		if ge.p.owner >= 0 {
+			h.invalidateChip(int(ge.p.owner), line, &tx)
+			ge.p.owner = invalidOwner
+		}
+		h.invalidateGlobalSharers(&ge.p, line, -1, &tx)
+		ge.p.sharers = 0
+	}
+	// Remote ALU occupancy: this is the hotspot RMOs suffer from.
+	if b.redBusy > tx.now {
+		tx.waitUntil(b.redBusy, &tx.bd.L4Inval)
+	}
+	tx.adv(2, &tx.bd.L4)
+	b.redBusy = tx.now
+	ge.p.dirty = true
+
+	w := (r.addr >> 3) & 7
+	ln := h.store.lineOf(r.addr)
+	ln[w] = ops.ApplyAt(r.otype, ln[w], uint(r.addr&7), r.val)
+	b.lineBusy[line] = tx.now
+
+	h.st.Breakdown.add(tx.bd)
+	return tx.now - c.time
+}
+
+// drain folds every outstanding private partial-update buffer into the
+// backing image so post-run inspection sees final values. It models the
+// reductions that the first post-run reads would trigger; no timing cost.
+func (h *hierarchy) drain() {
+	for _, pc := range h.priv {
+		pc.l2.forEach(func(tag uint64, p *privLine) {
+			if p.state == coh.U && p.buf != nil {
+				h.foldBufferAt(tag, p)
+				// Keep the line resident in U with a fresh identity buffer so
+				// structural invariants still hold after draining.
+				b := ops.IdentityLine(p.otype)
+				p.buf = &b
+			}
+		})
+	}
+}
+
+// checkInvariants validates the hierarchy's structural invariants; tests
+// call this through Machine.CheckInvariants.
+func (h *hierarchy) checkInvariants() error {
+	// Private states must be mirrored by the chip directory, chip entries
+	// by the global directory, and exclusivity must be unique.
+	for cid, pc := range h.priv {
+		chip := cid / h.cfg.CoresPerChip
+		ci := cid % h.cfg.CoresPerChip
+		var err error
+		pc.l2.forEach(func(tag uint64, p *privLine) {
+			if err != nil {
+				return
+			}
+			e := h.chips[chip].arr.peek(tag)
+			if e == nil {
+				err = fmt.Errorf("core %d holds %#x in %v but L3 has no entry", cid, tag, p.state)
+				return
+			}
+			switch p.state {
+			case coh.M, coh.E:
+				if e.p.owner != int16(ci) {
+					err = fmt.Errorf("core %d holds %#x in %v but dir owner=%d", cid, tag, p.state, e.p.owner)
+				}
+			case coh.S:
+				if e.p.sharers&bit(ci) == 0 || e.p.otype.IsUpdate() {
+					err = fmt.Errorf("core %d holds %#x in S but dir sharers=%#x type=%v", cid, tag, e.p.sharers, e.p.otype)
+				}
+			case coh.U:
+				if e.p.sharers&bit(ci) == 0 || e.p.otype != p.otype {
+					err = fmt.Errorf("core %d holds %#x in U(%v) but dir sharers=%#x type=%v", cid, tag, p.otype, e.p.sharers, e.p.otype)
+				}
+				if p.buf == nil {
+					err = fmt.Errorf("core %d U line %#x has no buffer", cid, tag)
+				}
+			}
+		})
+		if err != nil {
+			return err
+		}
+	}
+	// L3 entries must appear in the L4 directory, and U-mode lines must have
+	// a single operation type across all caches.
+	for q, ch := range h.chips {
+		var err error
+		ch.arr.forEach(func(tag uint64, d *dirLine) {
+			if err != nil {
+				return
+			}
+			ge := h.l4.arr.peek(tag)
+			if ge == nil {
+				err = fmt.Errorf("chip %d caches %#x but L4 has no entry", q, tag)
+				return
+			}
+			switch d.cstate {
+			case coh.M, coh.E:
+				if ge.p.owner != int16(q) {
+					err = fmt.Errorf("chip %d exclusive on %#x but L4 owner=%d", q, tag, ge.p.owner)
+				}
+			case coh.S, coh.U:
+				if ge.p.sharers&bit(q) == 0 {
+					err = fmt.Errorf("chip %d shares %#x but L4 sharers=%#x", q, tag, ge.p.sharers)
+				}
+			}
+			// Exclusivity within the chip.
+			if d.owner >= 0 && d.sharers != 0 {
+				err = fmt.Errorf("chip %d line %#x has owner %d and sharers %#x", q, tag, d.owner, d.sharers)
+			}
+		})
+		if err != nil {
+			return err
+		}
+	}
+	// Global exclusivity: at most one chip owner per line; SWMR analogue.
+	ownerCount := map[uint64]int{}
+	h.l4.arr.forEach(func(tag uint64, d *dirLine) {
+		if d.owner >= 0 {
+			ownerCount[tag]++
+			if d.sharers != 0 {
+				ownerCount[tag] += 10 // flag: owner and sharers coexist
+			}
+		}
+	})
+	for tag, n := range ownerCount {
+		if n > 1 {
+			return fmt.Errorf("line %#x violates global exclusivity (%d)", tag, n)
+		}
+	}
+	return nil
+}
+
+// CheckInvariants validates structural coherence invariants (inclusion,
+// directory/cache agreement, exclusivity). Primarily for tests.
+func (m *Machine) CheckInvariants() error { return m.hier.checkInvariants() }

@@ -1,0 +1,87 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanStddev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Errorf("mean %v, want 5", m)
+	}
+	if s := Stddev(xs); math.Abs(s-2.138) > 0.01 {
+		t.Errorf("stddev %v, want ~2.138", s)
+	}
+	if Mean(nil) != 0 || Stddev(nil) != 0 || Stddev([]float64{1}) != 0 {
+		t.Error("degenerate cases must be 0")
+	}
+}
+
+func TestCI95(t *testing.T) {
+	if CI95([]float64{5}) != 0 {
+		t.Error("single sample has no CI")
+	}
+	// Two identical samples: zero-width CI.
+	if CI95([]float64{3, 3}) != 0 {
+		t.Error("equal samples have zero CI")
+	}
+	ci := CI95([]float64{10, 12, 14})
+	if ci <= 0 {
+		t.Error("CI must be positive for spread samples")
+	}
+	// More samples with same spread narrow the interval.
+	wide := CI95([]float64{10, 14})
+	narrow := CI95([]float64{10, 14, 10, 14, 10, 14, 10, 14, 10, 14, 10, 14})
+	if narrow >= wide {
+		t.Errorf("CI should narrow with more samples: %v vs %v", narrow, wide)
+	}
+}
+
+func TestCIMonotoneProperty(t *testing.T) {
+	f := func(a, b uint16) bool {
+		x, y := float64(a), float64(b)
+		ci := CI95([]float64{x, y})
+		return ci >= 0 && (x != y) == (ci > 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{
+		Title:   "demo",
+		Headers: []string{"a", "longheader"},
+	}
+	tb.AddRow("1", "2")
+	tb.AddRow("333", "4")
+	tb.AddNote("hello %d", 42)
+	s := tb.String()
+	for _, want := range []string{"demo", "longheader", "333", "note: hello 42", "---"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("table output missing %q:\n%s", want, s)
+		}
+	}
+	csv := tb.CSV()
+	if !strings.HasPrefix(csv, "a,longheader\n1,2\n") {
+		t.Errorf("csv wrong: %q", csv)
+	}
+}
+
+func TestF(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		1234:    "1234",
+		42.42:   "42.4",
+		1.2345:  "1.23",
+		-1234.5: "-1234", // %.0f rounds half to even
+	}
+	for v, want := range cases {
+		if got := F(v); got != want {
+			t.Errorf("F(%v) = %q, want %q", v, got, want)
+		}
+	}
+}

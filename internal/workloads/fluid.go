@@ -1,0 +1,144 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/gen"
+	"repro/internal/sim"
+)
+
+// Fluid is the fluidanimate-like benchmark: a regular iterative 2-D
+// diffusion stencil over a cell grid (Sec 4.1 "ghost cells"). Threads own
+// horizontal slabs of rows; each iteration scatters flux contributions from
+// every cell to its four neighbours. Contributions to cells inside the
+// owner's slab use plain loads and stores; contributions that cross a slab
+// boundary — the cells ghost-cell schemes replicate — use commutative
+// float adds (atomics under MESI), matching the paper's optimized
+// fluidanimate, which replaces the default locks with atomic updates.
+// Shared cells are a small fraction of the grid and see few updates per
+// phase, which is why the paper reports only a modest speedup (Fig 10e).
+type Fluid struct {
+	W, H  int
+	Iters int
+	Seed  uint64
+
+	grid *gen.FluidGrid
+
+	densAddr uint64 // float32 per cell
+	accAddr  uint64 // float32 per cell, per-iteration flux accumulator
+
+	// sharedRow[y] marks rows on slab edges: cells there can receive
+	// contributions from two threads, so updates to them must be
+	// commutative/atomic — exactly the cells ghost-cell schemes replicate.
+	sharedRow []bool
+}
+
+// NewFluid builds a fluid stencil instance.
+func NewFluid(w, h, iters int, seed uint64) *Fluid {
+	return &Fluid{W: w, H: h, Iters: iters, Seed: seed}
+}
+
+// Name implements Workload.
+func (f *Fluid) Name() string { return "fluidanimate" }
+
+// Setup implements Workload.
+func (f *Fluid) Setup(m *sim.Machine) {
+	f.grid = gen.Fluid(f.W, f.H, f.Seed)
+	n := uint64(f.W * f.H)
+	f.densAddr = m.Alloc(n*4, 64)
+	f.accAddr = m.Alloc(n*4, 64)
+	for i, v := range f.grid.Density {
+		m.WriteWord32(f.densAddr+uint64(i)*4, math.Float32bits(v))
+	}
+	f.sharedRow = make([]bool, f.H)
+	for tid := 0; tid < m.Config().Cores; tid++ {
+		lo, hi := chunk(f.H, tid, m.Config().Cores)
+		if lo < hi {
+			f.sharedRow[lo] = true
+			f.sharedRow[hi-1] = true
+		}
+	}
+}
+
+func (f *Fluid) cell(base uint64, x, y int) uint64 {
+	return base + uint64(y*f.W+x)*4
+}
+
+// Kernel implements Workload.
+func (f *Fluid) Kernel(c *sim.Ctx) {
+	rowLo, rowHi := chunk(f.H, c.Tid(), c.NThreads())
+	for it := 0; it < f.Iters; it++ {
+		// Scatter phase: each cell sends 1/8 of its density to each
+		// neighbour. Cross-slab targets are shared cells.
+		for y := rowLo; y < rowHi; y++ {
+			for x := 0; x < f.W; x++ {
+				d := c.LoadF32(f.cell(f.densAddr, x, y))
+				flux := d * 0.125
+				c.Work(6)
+				for _, nb := range [4][2]int{{x - 1, y}, {x + 1, y}, {x, y - 1}, {x, y + 1}} {
+					nx, ny := nb[0], nb[1]
+					if nx < 0 || nx >= f.W || ny < 0 || ny >= f.H {
+						continue
+					}
+					addr := f.cell(f.accAddr, nx, ny)
+					if f.sharedRow[ny] {
+						// Boundary cell: another thread may update it too.
+						c.CommAddF32(addr, flux)
+					} else {
+						// Private to this slab: ordinary read-modify-write.
+						v := c.LoadF32(addr)
+						c.StoreF32(addr, v+flux)
+					}
+				}
+			}
+		}
+		c.Barrier()
+		// Update phase: fold accumulated flux into the density field and
+		// clear the accumulator. Slab-private.
+		for y := rowLo; y < rowHi; y++ {
+			for x := 0; x < f.W; x++ {
+				d := c.LoadF32(f.cell(f.densAddr, x, y))
+				a := c.LoadF32(f.cell(f.accAddr, x, y))
+				c.StoreF32(f.cell(f.densAddr, x, y), d*0.5+a)
+				c.StoreF32(f.cell(f.accAddr, x, y), 0)
+				c.Work(4)
+			}
+		}
+		c.Barrier()
+	}
+}
+
+// Validate implements Workload: compare against the sequential stencil with
+// a relative tolerance (boundary adds reorder across threads).
+func (f *Fluid) Validate(m *sim.Machine) error {
+	w, h := f.W, f.H
+	dens := make([]float32, w*h)
+	copy(dens, f.grid.Density)
+	acc := make([]float32, w*h)
+	for it := 0; it < f.Iters; it++ {
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				flux := dens[y*w+x] * 0.125
+				for _, nb := range [4][2]int{{x - 1, y}, {x + 1, y}, {x, y - 1}, {x, y + 1}} {
+					nx, ny := nb[0], nb[1]
+					if nx < 0 || nx >= w || ny < 0 || ny >= h {
+						continue
+					}
+					acc[ny*w+nx] += flux
+				}
+			}
+		}
+		for i := range dens {
+			dens[i] = dens[i]*0.5 + acc[i]
+			acc[i] = 0
+		}
+	}
+	for i := range dens {
+		got := math.Float32frombits(m.ReadWord32(f.densAddr + uint64(i)*4))
+		if !approxEq(float64(got), float64(dens[i]), 1e-3) {
+			return fmt.Errorf("cell %d: got %g, want %g", i, got, dens[i])
+		}
+	}
+	return nil
+}
