@@ -16,8 +16,7 @@ import (
 	"repro/internal/check"
 	"repro/internal/exp"
 	"repro/internal/proto"
-	"repro/internal/sim"
-	"repro/internal/workloads"
+	"repro/pkg/coup"
 )
 
 // benchParams shrinks every experiment to benchmark scale.
@@ -29,6 +28,9 @@ func benchParams() exp.Params {
 }
 
 func runExp(b *testing.B, id string) {
+	if testing.Short() {
+		b.Skipf("skipping figure regeneration %s in -short mode", id)
+	}
 	e, ok := exp.ByID(id)
 	if !ok {
 		b.Fatalf("unknown experiment %q", id)
@@ -89,6 +91,9 @@ func BenchmarkAblation(b *testing.B) { runExp(b, "ablation") }
 // BenchmarkFig8Verify regenerates a slice of Fig 8: exhaustive verification
 // of two-level MESI and MEUSI at 2 cores.
 func BenchmarkFig8Verify(b *testing.B) {
+	if testing.Short() {
+		b.Skip("skipping exhaustive verification in -short mode")
+	}
 	for i := 0; i < b.N; i++ {
 		for _, sy := range []*proto.System{
 			{Kind: proto.MESI, NCores: 2},
@@ -108,9 +113,12 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	const opsPerRun = 16 * 500
 	b.ReportMetric(0, "ns/op") // replaced below
 	for i := 0; i < b.N; i++ {
-		m := sim.New(sim.DefaultConfig(16, sim.MEUSI))
+		m, err := coup.NewMachine(coup.WithCores(16), coup.WithProtocol("MEUSI"))
+		if err != nil {
+			b.Fatal(err)
+		}
 		ctr := m.Alloc(64, 64)
-		m.Run(func(c *sim.Ctx) {
+		m.Run(func(c *coup.Ctx) {
 			for k := 0; k < 500; k++ {
 				c.CommAdd64(ctr, 1)
 			}
@@ -123,8 +131,12 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 // run (the heaviest single workload in the harness).
 func BenchmarkWorkloadHist(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		w := workloads.NewHist(20_000, 512, workloads.HistShared, 7)
-		if _, err := workloads.Run(w, sim.DefaultConfig(32, sim.MEUSI)); err != nil {
+		_, err := coup.Run("hist",
+			coup.WithCores(32),
+			coup.WithProtocol("MEUSI"),
+			coup.WithWorkloadParams(coup.WorkloadParams{Size: 20_000, Bins: 512, Seed: 7}),
+		)
+		if err != nil {
 			b.Fatal(err)
 		}
 	}

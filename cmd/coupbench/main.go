@@ -49,13 +49,14 @@ func main() {
 	p.MaxCores = *cores
 
 	var toRun []exp.Experiment
-	if *expID == "all" {
+	if strings.EqualFold(*expID, "all") {
 		toRun = exp.All()
 	} else {
 		for _, id := range strings.Split(*expID, ",") {
-			e, ok := exp.ByID(strings.TrimSpace(id))
+			e, ok := exp.ByID(id)
 			if !ok {
-				fmt.Fprintf(os.Stderr, "coupbench: unknown experiment %q (use -list)\n", id)
+				fmt.Fprintf(os.Stderr, "coupbench: unknown experiment %q (have: %s)\n",
+					id, strings.Join(exp.Names(), ", "))
 				os.Exit(2)
 			}
 			toRun = append(toRun, e)

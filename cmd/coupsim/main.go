@@ -1,77 +1,75 @@
 // Command coupsim runs one workload on one simulated machine configuration
 // and prints the run's cycle count, AMAT breakdown, protocol events and
-// traffic — the quickest way to poke at the simulator.
+// traffic — the quickest way to poke at the simulator. Workloads and
+// protocols are resolved by name (case-insensitively) through the pkg/coup
+// registries, so anything registered — built-in or not — is runnable.
 //
 // Usage:
 //
-//	coupsim -workload hist -proto meusi -cores 64 -bins 512
-//	coupsim -workload bfs -proto mesi -cores 128
+//	coupsim -workload hist -protocol meusi -cores 64 -bins 512
+//	coupsim -workload bfs -protocol mesi -cores 128
+//	coupsim -list            # enumerate protocols and workloads
+//	coupsim -workload spmv -json
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 
-	"repro/internal/sim"
-	"repro/internal/workloads"
+	"repro/pkg/coup"
 )
 
 func main() {
 	var (
-		name  = flag.String("workload", "hist", "hist|hist-priv|spmv|pgrank|bfs|fluid|refcount|refcount-delayed|counter")
-		proto = flag.String("proto", "meusi", "mesi|meusi|rmo")
-		cores = flag.Int("cores", 64, "simulated cores")
-		bins  = flag.Int("bins", 512, "histogram bins (hist)")
-		size  = flag.Int("size", 100000, "workload size (pixels, matrix dim, updates...)")
-		seed  = flag.Uint64("seed", 1, "machine seed")
+		name     = flag.String("workload", "hist", "registered workload name (see -list)")
+		protocol = flag.String("protocol", "MEUSI", "registered protocol name (see -list)")
+		cores    = flag.Int("cores", 64, "simulated cores")
+		size     = flag.Int("size", 0, "workload size knob (0 = workload default; see -list for meaning)")
+		bins     = flag.Int("bins", 0, "histogram bins (hist family; 0 = default)")
+		seed     = flag.Uint64("seed", 1, "machine seed")
+		wseed    = flag.Uint64("wseed", 0, "workload input seed (0 = workload default)")
+		asJSON   = flag.Bool("json", false, "emit stats as JSON")
+		list     = flag.Bool("list", false, "list registered protocols and workloads, then exit")
 	)
+	flag.StringVar(protocol, "proto", *protocol, "alias for -protocol")
 	flag.Parse()
 
-	var pr sim.Protocol
-	switch *proto {
-	case "mesi":
-		pr = sim.MESI
-	case "meusi":
-		pr = sim.MEUSI
-	case "rmo":
-		pr = sim.RMO
-	default:
-		fmt.Fprintf(os.Stderr, "coupsim: unknown protocol %q\n", *proto)
-		os.Exit(2)
+	if *list {
+		fmt.Println("protocols:")
+		for _, p := range coup.Protocols() {
+			fmt.Printf("  %-10s %s\n", p.Name(), p.Description())
+		}
+		fmt.Println("workloads:")
+		for _, w := range coup.Workloads() {
+			fmt.Printf("  %-18s %s\n", w.Name, w.Description)
+		}
+		return
 	}
 
-	var w workloads.Workload
-	switch *name {
-	case "hist":
-		w = workloads.NewHist(*size, *bins, workloads.HistShared, 7)
-	case "hist-priv":
-		w = workloads.NewHist(*size, *bins, workloads.HistPrivCore, 7)
-	case "spmv":
-		w = workloads.NewSpMV(*size/16, 24, 5)
-	case "pgrank":
-		w = workloads.NewPgRank(12, 12, 2, 9)
-	case "bfs":
-		w = workloads.NewBFS(13, 10, 13)
-	case "fluid":
-		w = workloads.NewFluid(96, 96, 3, 17)
-	case "refcount":
-		w = workloads.NewRefCount(1024, *size/50, false, workloads.RefPlain, 21)
-	case "refcount-delayed":
-		w = workloads.NewRefCountDelayed(8192, 2, 300, workloads.DelayedCoup, 27)
-	case "counter":
-		w = workloads.NewRefCount(1, *size/50, true, workloads.RefPlain, 3)
-	default:
-		fmt.Fprintf(os.Stderr, "coupsim: unknown workload %q\n", *name)
-		os.Exit(2)
-	}
-
-	cfg := sim.DefaultConfig(*cores, pr)
-	cfg.Seed = *seed
-	st, err := workloads.Run(w, cfg)
+	st, err := coup.Run(*name,
+		coup.WithCores(*cores),
+		coup.WithProtocol(*protocol),
+		coup.WithSeed(*seed),
+		coup.WithWorkloadParams(coup.WorkloadParams{Size: *size, Bins: *bins, Seed: *wseed}),
+	)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "coupsim: %v\n", err)
-		os.Exit(1)
+		if errors.Is(err, coup.ErrUnknownWorkload) || errors.Is(err, coup.ErrUnknownProtocol) ||
+			errors.Is(err, coup.ErrInvalidOption) || errors.Is(err, coup.ErrConflictingOptions) {
+			os.Exit(2) // usage error
+		}
+		os.Exit(1) // simulation/validation failure
 	}
-	fmt.Printf("%s on %d cores under %v:\n%s\n", w.Name(), *cores, pr, st.String())
+	if *asJSON {
+		blob, err := st.JSON()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "coupsim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s\n", blob)
+		return
+	}
+	fmt.Println(st.String())
 }

@@ -5,13 +5,15 @@
 // Usage:
 //
 //	coupverify -exp fig8                 # the full verification-cost grid
-//	coupverify -proto meusi -cores 3 -ops 2
+//	coupverify -protocol meusi -cores 3 -ops 2
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/check"
@@ -19,22 +21,41 @@ import (
 	"repro/internal/proto"
 )
 
+// kinds maps model-checker protocol names to their transition tables. The
+// checker models the two detailed protocols the paper verifies (Sec 4.3);
+// this is distinct from the simulator's protocol registry.
+var kinds = map[string]proto.Kind{
+	"mesi":  proto.MESI,
+	"meusi": proto.MEUSI,
+}
+
+func kindNames() string {
+	names := make([]string, 0, len(kinds))
+	for n := range kinds {
+		names = append(names, strings.ToUpper(n))
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
+
 func main() {
 	var (
 		expID   = flag.String("exp", "", "run a registered experiment (fig8)")
-		protoN  = flag.String("proto", "meusi", "mesi|meusi")
+		protoN  = flag.String("protocol", "meusi", "modelled protocol (case-insensitive)")
 		cores   = flag.Int("cores", 2, "modelled cores")
 		ops     = flag.Int("ops", 1, "commutative-update types (meusi)")
 		level3  = flag.Bool("level3", false, "model three-level hierarchy rules")
 		budget  = flag.Int("budget", 5_000_000, "state budget")
 		timeout = flag.Duration("timeout", 5*time.Minute, "time budget")
 	)
+	flag.StringVar(protoN, "proto", *protoN, "alias for -protocol")
 	flag.Parse()
 
 	if *expID != "" {
 		e, ok := exp.ByID(*expID)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "coupverify: unknown experiment %q\n", *expID)
+			fmt.Fprintf(os.Stderr, "coupverify: unknown experiment %q (have: %s)\n",
+				*expID, strings.Join(exp.Names(), ", "))
 			os.Exit(2)
 		}
 		for _, t := range e.Run(exp.DefaultParams()) {
@@ -43,16 +64,14 @@ func main() {
 		return
 	}
 
-	sy := &proto.System{NCores: *cores, Level3: *level3}
-	switch *protoN {
-	case "mesi":
-		sy.Kind = proto.MESI
-	case "meusi":
-		sy.Kind = proto.MEUSI
-		sy.NOps = *ops
-	default:
-		fmt.Fprintf(os.Stderr, "coupverify: unknown protocol %q\n", *protoN)
+	kind, ok := kinds[strings.ToLower(*protoN)]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "coupverify: unknown protocol %q (have: %s)\n", *protoN, kindNames())
 		os.Exit(2)
+	}
+	sy := &proto.System{Kind: kind, NCores: *cores, Level3: *level3}
+	if kind == proto.MEUSI {
+		sy.NOps = *ops
 	}
 	fmt.Printf("verifying %v, %d cores, %d ops, level3=%v...\n", sy.Kind, sy.NCores, sy.NOps, sy.Level3)
 	r := check.Verify(sy, *budget, *timeout)

@@ -9,22 +9,24 @@ package main
 import (
 	"fmt"
 
-	"repro/internal/sim"
-	"repro/internal/workloads"
+	"repro/pkg/coup"
 )
 
 func main() {
 	const cores = 64
 	fmt.Printf("parallel BFS over an R-MAT graph (2^13 vertices), %d cores\n\n", cores)
 
-	for _, p := range []sim.Protocol{sim.MESI, sim.MEUSI} {
-		w := workloads.NewBFS(13, 10, 13)
-		st, err := workloads.Run(w, sim.DefaultConfig(cores, p))
+	for _, p := range []string{"MESI", "MEUSI"} {
+		st, err := coup.Run("bfs",
+			coup.WithCores(cores),
+			coup.WithProtocol(p),
+			coup.WithWorkloadParams(coup.WorkloadParams{Scale: 13, EdgeFactor: 10, Seed: 13}),
+		)
 		if err != nil {
 			panic(err)
 		}
 		label := "atomic-or bitmap (MESI)"
-		if p == sim.MEUSI {
+		if p == "MEUSI" {
 			label = "commutative-or bitmap (COUP)"
 		}
 		fmt.Printf("%-30s %9d cycles  %6d read/update mode switches\n",

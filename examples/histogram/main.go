@@ -1,7 +1,8 @@
 // Histogram: the paper's motivating application (Fig 2). Builds a histogram
 // of 16-bit values on 64 simulated cores three ways — shared atomics,
 // software privatization, and COUP commutative adds — and shows the
-// privatization-vs-atomics tradeoff that COUP sidesteps.
+// privatization-vs-atomics tradeoff that COUP sidesteps. Workloads and
+// protocols are selected by pkg/coup registry name.
 //
 //	go run ./examples/histogram
 package main
@@ -9,8 +10,7 @@ package main
 import (
 	"fmt"
 
-	"repro/internal/sim"
-	"repro/internal/workloads"
+	"repro/pkg/coup"
 )
 
 func main() {
@@ -24,15 +24,18 @@ func main() {
 	for _, bins := range []int{64, 1024, 16384} {
 		row := [3]uint64{}
 		for i, cfg := range []struct {
-			proto sim.Protocol
-			mode  workloads.HistMode
+			protocol string
+			workload string
 		}{
-			{sim.MEUSI, workloads.HistShared},
-			{sim.MESI, workloads.HistShared},
-			{sim.MESI, workloads.HistPrivCore},
+			{"MEUSI", "hist"},
+			{"MESI", "hist"},
+			{"MESI", "hist-priv-core"},
 		} {
-			w := workloads.NewHist(pixels, bins, cfg.mode, 7)
-			st, err := workloads.Run(w, sim.DefaultConfig(cores, cfg.proto))
+			st, err := coup.Run(cfg.workload,
+				coup.WithCores(cores),
+				coup.WithProtocol(cfg.protocol),
+				coup.WithWorkloadParams(coup.WorkloadParams{Size: pixels, Bins: bins, Seed: 7}),
+			)
 			if err != nil {
 				panic(err)
 			}

@@ -1,6 +1,8 @@
 // Quickstart: the paper's Fig 1 example — multiple cores adding to one
 // shared counter — run on the simulated 8-socket system under all three
 // schemes: conventional MESI atomics, remote memory operations, and COUP.
+// Machines are built through pkg/coup's functional options and protocols
+// are selected by registry name.
 //
 //	go run ./examples/quickstart
 package main
@@ -8,7 +10,7 @@ package main
 import (
 	"fmt"
 
-	"repro/internal/sim"
+	"repro/pkg/coup"
 )
 
 func main() {
@@ -19,10 +21,13 @@ func main() {
 	)
 	fmt.Printf("Fig 1: %d cores each perform %d commutative adds to one counter\n\n", cores, perCore)
 
-	for _, p := range []sim.Protocol{sim.MESI, sim.RMO, sim.MEUSI} {
-		m := sim.New(sim.DefaultConfig(cores, p))
+	for _, p := range []string{"MESI", "RMO", "MEUSI"} {
+		m, err := coup.NewMachine(coup.WithCores(cores), coup.WithProtocol(p))
+		if err != nil {
+			panic(err)
+		}
 		counter := m.Alloc(64, 64)
-		st := m.Run(func(c *sim.Ctx) {
+		st := m.Run(func(c *coup.Ctx) {
 			for i := 0; i < perCore; i++ {
 				// One commutative-update instruction. Under MESI this runs
 				// as an atomic fetch-and-add; under RMO it is shipped to the
@@ -36,7 +41,7 @@ func main() {
 			panic(fmt.Sprintf("%v: counter = %d, want %d", p, got, cores*perCore))
 		}
 		fmt.Printf(protoFmt, p, st.Cycles,
-			float64(st.Cycles)/perCore, st.OffChipBytes)
+			float64(st.Cycles)/perCore, st.Traffic.OffChipBytes)
 	}
 
 	fmt.Println("\nCOUP keeps updates in the private caches (Fig 1c): same final")

@@ -1,7 +1,8 @@
 // Refcount: the Sec 5.4 case study. Shared reference counters updated by
 // every core, with decrements checking for zero — immediate deallocation
 // with plain counters (XADD vs COUP) and SNZI trees, then delayed
-// deallocation (COUP counters + modified bitmap vs Refcache).
+// deallocation (COUP counters + modified bitmap vs Refcache). All variants
+// are registered workloads, selected by name.
 //
 //	go run ./examples/refcount
 package main
@@ -9,12 +10,17 @@ package main
 import (
 	"fmt"
 
-	"repro/internal/sim"
-	"repro/internal/workloads"
+	"repro/pkg/coup"
 )
 
-func run(w workloads.Workload, cores int, p sim.Protocol) uint64 {
-	st, err := workloads.Run(w, sim.DefaultConfig(cores, p))
+const cores = 64
+
+func run(workload, protocol string, wp coup.WorkloadParams) uint64 {
+	st, err := coup.Run(workload,
+		coup.WithCores(cores),
+		coup.WithProtocol(protocol),
+		coup.WithWorkloadParams(wp),
+	)
 	if err != nil {
 		panic(err)
 	}
@@ -22,19 +28,19 @@ func run(w workloads.Workload, cores int, p sim.Protocol) uint64 {
 }
 
 func main() {
-	const cores = 64
 	fmt.Printf("reference counting on %d cores (1024 objects)\n\n", cores)
 
-	const updates = 2000
+	imm := coup.WorkloadParams{Counters: 1024, Size: 2000, HighCount: true, Seed: 21}
 	fmt.Println("immediate deallocation (cycles, lower is better):")
-	xadd := run(workloads.NewRefCount(1024, updates, true, workloads.RefPlain, 21), cores, sim.MESI)
-	coup := run(workloads.NewRefCount(1024, updates, true, workloads.RefPlain, 21), cores, sim.MEUSI)
-	snzi := run(workloads.NewRefCount(1024, updates, true, workloads.RefSNZI, 21), cores, sim.MESI)
-	fmt.Printf("  XADD %d   COUP %d   SNZI %d\n\n", xadd, coup, snzi)
+	xadd := run("refcount", "MESI", imm)
+	cp := run("refcount", "MEUSI", imm)
+	snzi := run("refcount-snzi", "MESI", imm)
+	fmt.Printf("  XADD %d   COUP %d   SNZI %d\n\n", xadd, cp, snzi)
 
+	del := coup.WorkloadParams{Counters: 8192, Iters: 2, UpdatesPerEpoch: 300, Seed: 27}
 	fmt.Println("delayed deallocation, 300 updates/epoch (cycles, lower is better):")
-	dcoup := run(workloads.NewRefCountDelayed(8192, 2, 300, workloads.DelayedCoup, 27), cores, sim.MEUSI)
-	drefc := run(workloads.NewRefCountDelayed(8192, 2, 300, workloads.DelayedRefcache, 27), cores, sim.MESI)
+	dcoup := run("refcount-delayed", "MEUSI", del)
+	drefc := run("refcount-refcache", "MESI", del)
 	fmt.Printf("  COUP (counters + commutative-or bitmap) %d\n", dcoup)
 	fmt.Printf("  Refcache (per-thread delta caches)      %d   (COUP %.2fx faster)\n",
 		drefc, float64(drefc)/float64(dcoup))

@@ -9,10 +9,10 @@ package exp
 import (
 	"fmt"
 	"sort"
+	"strings"
 
-	"repro/internal/sim"
 	"repro/internal/stats"
-	"repro/internal/workloads"
+	"repro/pkg/coup"
 )
 
 // Params scales experiments. Scale 1.0 is the full (already
@@ -75,31 +75,46 @@ func All() []Experiment {
 	return out
 }
 
-// ByID looks up one experiment.
+// ByID looks up one experiment, case-insensitively and ignoring
+// surrounding whitespace.
 func ByID(id string) (Experiment, bool) {
+	id = strings.TrimSpace(id)
 	for _, e := range registry {
-		if e.ID == id {
+		if strings.EqualFold(e.ID, id) {
 			return e, true
 		}
 	}
 	return Experiment{}, false
 }
 
+// Names returns the sorted registered experiment ids (for error messages).
+func Names() []string {
+	all := All()
+	ids := make([]string, len(all))
+	for i, e := range all {
+		ids[i] = e.ID
+	}
+	return ids
+}
+
 // measure runs mk()'s workload reps times with different machine seeds and
-// returns the mean cycle count plus the last run's stats. It panics on
-// validation failures (an experiment must not silently report results from
-// a broken run).
-func measure(mk func() workloads.Workload, cores int, proto sim.Protocol, p Params) (float64, sim.Stats) {
+// returns the mean cycle count plus the last run's stats. The protocol is
+// a pkg/coup registry name. It panics on validation failures (an
+// experiment must not silently report results from a broken run).
+func measure(mk func() coup.Workload, cores int, proto string, p Params, extra ...coup.Option) (float64, coup.Stats) {
 	var cycles []float64
-	var last sim.Stats
+	var last coup.Stats
 	reps := p.Reps
 	if reps < 1 {
 		reps = 1
 	}
 	for r := 0; r < reps; r++ {
-		cfg := sim.DefaultConfig(cores, proto)
-		cfg.Seed = uint64(r + 1)
-		st, err := workloads.Run(mk(), cfg)
+		opts := append([]coup.Option{
+			coup.WithCores(cores),
+			coup.WithProtocol(proto),
+			coup.WithSeed(uint64(r + 1)),
+		}, extra...)
+		st, err := coup.RunWorkload(mk(), opts...)
 		if err != nil {
 			panic(fmt.Sprintf("measure %d cores %v: %v", cores, proto, err))
 		}
@@ -109,19 +124,29 @@ func measure(mk func() workloads.Workload, cores int, proto sim.Protocol, p Para
 	return stats.Mean(cycles), last
 }
 
+// workload returns a factory building the named registered workload; a
+// lookup or parameter failure is an experiment-setup bug, so it panics.
+func workload(name string, wp coup.WorkloadParams) func() coup.Workload {
+	return func() coup.Workload {
+		w, err := coup.NewWorkload(name, wp)
+		if err != nil {
+			panic(fmt.Sprintf("exp: %v", err))
+		}
+		return w
+	}
+}
+
 // The five applications (Table 2), sized for simulation at Scale 1.0.
 
-func histWorkload(p Params, bins int, mode workloads.HistMode) func() workloads.Workload {
-	pixels := p.scaleInt(240_000)
-	return func() workloads.Workload { return workloads.NewHist(pixels, bins, mode, 7) }
+func histWorkload(p Params, bins int, variant string) func() coup.Workload {
+	return workload(variant, coup.WorkloadParams{Size: p.scaleInt(240_000), Bins: bins, Seed: 7})
 }
 
-func spmvWorkload(p Params) func() workloads.Workload {
-	n := p.scaleInt(8000)
-	return func() workloads.Workload { return workloads.NewSpMV(n, 24, 5) }
+func spmvWorkload(p Params) func() coup.Workload {
+	return workload("spmv", coup.WorkloadParams{Size: p.scaleInt(8000), NNZPerCol: 24, Seed: 5})
 }
 
-func pgrankWorkload(p Params) func() workloads.Workload {
+func pgrankWorkload(p Params) func() coup.Workload {
 	scale := 13
 	if p.Scale < 0.5 {
 		scale = 11
@@ -129,10 +154,10 @@ func pgrankWorkload(p Params) func() workloads.Workload {
 	if p.Scale < 0.1 {
 		scale = 9
 	}
-	return func() workloads.Workload { return workloads.NewPgRank(scale, 12, 2, 9) }
+	return workload("pgrank", coup.WorkloadParams{Scale: scale, EdgeFactor: 12, Iters: 2, Seed: 9})
 }
 
-func bfsWorkload(p Params) func() workloads.Workload {
+func bfsWorkload(p Params) func() coup.Workload {
 	scale := 14
 	if p.Scale < 0.5 {
 		scale = 12
@@ -140,10 +165,10 @@ func bfsWorkload(p Params) func() workloads.Workload {
 	if p.Scale < 0.1 {
 		scale = 10
 	}
-	return func() workloads.Workload { return workloads.NewBFS(scale, 10, 13) }
+	return workload("bfs", coup.WorkloadParams{Scale: scale, EdgeFactor: 10, Seed: 13})
 }
 
-func fluidWorkload(p Params) func() workloads.Workload {
+func fluidWorkload(p Params) func() coup.Workload {
 	side := 128
 	if p.Scale < 0.5 {
 		side = 64
@@ -151,19 +176,19 @@ func fluidWorkload(p Params) func() workloads.Workload {
 	if p.Scale < 0.1 {
 		side = 32
 	}
-	return func() workloads.Workload { return workloads.NewFluid(side, side, 3, 17) }
+	return workload("fluid", coup.WorkloadParams{Size: side, Iters: 3, Seed: 17})
 }
 
 // apps returns the Fig 10/11 application list with constructors.
 func apps(p Params) []struct {
 	Name string
-	Mk   func() workloads.Workload
+	Mk   func() coup.Workload
 } {
 	return []struct {
 		Name string
-		Mk   func() workloads.Workload
+		Mk   func() coup.Workload
 	}{
-		{"hist", histWorkload(p, 512, workloads.HistShared)},
+		{"hist", histWorkload(p, 512, "hist")},
 		{"spmv", spmvWorkload(p)},
 		{"pgrank", pgrankWorkload(p)},
 		{"bfs", bfsWorkload(p)},

@@ -3,8 +3,7 @@ package exp
 import (
 	"testing"
 
-	"repro/internal/sim"
-	"repro/internal/workloads"
+	"repro/pkg/coup"
 )
 
 func tinyParams() Params {
@@ -62,8 +61,8 @@ func TestScaleInt(t *testing.T) {
 func TestMeasureValidatesAndAverages(t *testing.T) {
 	p := tinyParams()
 	p.Reps = 2
-	mk := func() workloads.Workload { return workloads.NewHist(2000, 64, workloads.HistShared, 1) }
-	mean, st := measure(mk, 4, sim.MEUSI, p)
+	mk := workload("hist", coup.WorkloadParams{Size: 2000, Bins: 64, Seed: 1})
+	mean, st := measure(mk, 4, "MEUSI", p)
 	if mean <= 0 || st.Cycles == 0 {
 		t.Fatal("measure returned nothing")
 	}

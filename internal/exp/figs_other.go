@@ -6,9 +6,8 @@ import (
 
 	"repro/internal/check"
 	"repro/internal/proto"
-	"repro/internal/sim"
 	"repro/internal/stats"
-	"repro/internal/workloads"
+	"repro/pkg/coup"
 )
 
 func init() {
@@ -88,14 +87,12 @@ func sec55(p Params) []*stats.Table {
 		Title:   fmt.Sprintf("Sec 5.5: reduction-unit throughput sensitivity (%d cores, COUP)", cores),
 		Headers: []string{"app", "fast ALU (cycles)", "slow ALU (cycles)", "slowdown %"},
 	}
-	run := func(mk func() workloads.Workload, slow bool) float64 {
-		cfg := sim.DefaultConfig(cores, sim.MEUSI)
-		cfg.Seed = 1
+	run := func(mk func() coup.Workload, slow bool) float64 {
+		opts := []coup.Option{coup.WithCores(cores), coup.WithProtocol("MEUSI"), coup.WithSeed(1)}
 		if slow {
-			cfg.ReduceCyclesPerLine = 16
-			cfg.ReduceLatency = 16
+			opts = append(opts, coup.WithReductionALU(16, 16))
 		}
-		st, err := workloads.Run(mk(), cfg)
+		st, err := coup.RunWorkload(mk(), opts...)
 		if err != nil {
 			panic(err)
 		}
@@ -120,10 +117,10 @@ func trafficExp(p Params) []*stats.Table {
 		Headers: []string{"app", "MESI bytes", "COUP bytes", "reduction x"},
 	}
 	for _, app := range apps(p) {
-		_, mesi := measure(app.Mk, cores, sim.MESI, p)
-		_, coup := measure(app.Mk, cores, sim.MEUSI, p)
-		t.AddRow(app.Name, fmt.Sprint(mesi.OffChipBytes), fmt.Sprint(coup.OffChipBytes),
-			stats.F(float64(mesi.OffChipBytes)/float64(coup.OffChipBytes)))
+		_, mesi := measure(app.Mk, cores, "MESI", p)
+		_, meusi := measure(app.Mk, cores, "MEUSI", p)
+		t.AddRow(app.Name, fmt.Sprint(mesi.Traffic.OffChipBytes), fmt.Sprint(meusi.Traffic.OffChipBytes),
+			stats.F(float64(mesi.Traffic.OffChipBytes)/float64(meusi.Traffic.OffChipBytes)))
 	}
 	return []*stats.Table{t}
 }
@@ -139,7 +136,7 @@ func table2(p Params) []*stats.Table {
 		"bfs": "64b OR", "fluidanimate": "32b FP add",
 	}
 	for _, app := range apps(p) {
-		_, st := measure(app.Mk, 1, sim.MEUSI, p)
+		_, st := measure(app.Mk, 1, "MEUSI", p)
 		t.AddRow(app.Name, ops[app.Name],
 			stats.F(float64(st.Cycles)/1e6),
 			stats.F(st.CommFraction()*100))
@@ -161,18 +158,16 @@ func ablation(p Params) []*stats.Table {
 		Title:   "Fig 1 ablation: contended shared counter (cycles, lower is better)",
 		Headers: []string{"cores", "MESI (a)", "RMO (b)", "COUP (c)", "COUP vs MESI", "COUP vs RMO"},
 	}
-	mk := func() workloads.Workload {
-		return workloads.NewRefCount(8, updates, true, workloads.RefPlain, 3)
-	}
+	mk := workload("refcount", coup.WorkloadParams{Counters: 8, Size: updates, HighCount: true, Seed: 3})
 	for _, c := range []int{16, 64} {
 		if c > p.MaxCores {
 			continue
 		}
-		mesi, _ := measure(mk, c, sim.MESI, p)
-		rmo, _ := measure(mk, c, sim.RMO, p)
-		coup, _ := measure(mk, c, sim.MEUSI, p)
-		counter.AddRow(fmt.Sprint(c), stats.F(mesi), stats.F(rmo), stats.F(coup),
-			stats.F(mesi/coup), stats.F(rmo/coup))
+		mesi, _ := measure(mk, c, "MESI", p)
+		rmo, _ := measure(mk, c, "RMO", p)
+		meusi, _ := measure(mk, c, "MEUSI", p)
+		counter.AddRow(fmt.Sprint(c), stats.F(mesi), stats.F(rmo), stats.F(meusi),
+			stats.F(mesi/meusi), stats.F(rmo/meusi))
 	}
 	tables = append(tables, counter)
 
@@ -186,8 +181,8 @@ func ablation(p Params) []*stats.Table {
 		if c > p.MaxCores {
 			continue
 		}
-		musi, _ := measure(mk, c, sim.MUSI, p)
-		meusi, _ := measure(mk, c, sim.MEUSI, p)
+		musi, _ := measure(mk, c, "MUSI", p)
+		meusi, _ := measure(mk, c, "MEUSI", p)
 		eTable.AddRow(fmt.Sprint(c), stats.F(musi), stats.F(meusi),
 			stats.F((musi-meusi)/musi*100))
 	}
@@ -201,16 +196,18 @@ func ablation(p Params) []*stats.Table {
 	}
 	for _, app := range []struct {
 		Name string
-		Mk   func() workloads.Workload
+		Mk   func() coup.Workload
 	}{
-		{"hist", histWorkload(p, 512, workloads.HistShared)},
+		{"hist", histWorkload(p, 512, "hist")},
 		{"bfs", bfsWorkload(p)},
 	} {
 		run := func(flat bool) float64 {
-			cfg := sim.DefaultConfig(cores, sim.MEUSI)
-			cfg.Seed = 1
-			cfg.FlatReductions = flat
-			st, err := workloads.Run(app.Mk(), cfg)
+			st, err := coup.RunWorkload(app.Mk(),
+				coup.WithCores(cores),
+				coup.WithProtocol("MEUSI"),
+				coup.WithSeed(1),
+				coup.WithFlatReductions(flat),
+			)
 			if err != nil {
 				panic(err)
 			}

@@ -3,9 +3,8 @@ package exp
 import (
 	"fmt"
 
-	"repro/internal/sim"
 	"repro/internal/stats"
-	"repro/internal/workloads"
+	"repro/pkg/coup"
 )
 
 func init() {
@@ -34,9 +33,9 @@ func fig2(p Params) []*stats.Table {
 	}
 	var base float64
 	for i, b := range bins {
-		coup, _ := measure(histWorkload(p, b, workloads.HistShared), cores, sim.MEUSI, p)
-		atom, _ := measure(histWorkload(p, b, workloads.HistShared), cores, sim.MESI, p)
-		priv, _ := measure(histWorkload(p, b, workloads.HistPrivCore), cores, sim.MESI, p)
+		coup, _ := measure(histWorkload(p, b, "hist"), cores, "MEUSI", p)
+		atom, _ := measure(histWorkload(p, b, "hist"), cores, "MESI", p)
+		priv, _ := measure(histWorkload(p, b, "hist-priv-core"), cores, "MESI", p)
 		if i == 0 {
 			base = coup
 		}
@@ -55,10 +54,10 @@ func fig10(p Params) []*stats.Table {
 			Title:   "Fig 10: " + app.Name + " speedup (vs 1-core MESI)",
 			Headers: []string{"cores", "MESI", "COUP", "COUP/MESI"},
 		}
-		base, _ := measure(app.Mk, 1, sim.MESI, p)
+		base, _ := measure(app.Mk, 1, "MESI", p)
 		for _, c := range p.coreSweep() {
-			mesi, _ := measure(app.Mk, c, sim.MESI, p)
-			coup, _ := measure(app.Mk, c, sim.MEUSI, p)
+			mesi, _ := measure(app.Mk, c, "MESI", p)
+			coup, _ := measure(app.Mk, c, "MEUSI", p)
 			t.AddRow(fmt.Sprint(c), stats.F(base/mesi), stats.F(base/coup), stats.F(mesi/coup))
 		}
 		tables = append(tables, t)
@@ -81,17 +80,16 @@ func fig11(p Params) []*stats.Table {
 			if c > p.MaxCores {
 				continue
 			}
-			for _, proto := range []sim.Protocol{sim.MEUSI, sim.MESI} {
+			for _, proto := range []string{"MEUSI", "MESI"} {
 				_, st := measure(app.Mk, c, proto, p)
-				b := st.AMATBreakdown()
-				amat := st.AMAT()
+				b := st.Breakdown
 				if norm == 0 {
-					norm = amat // first row: COUP at the smallest size
+					norm = st.AMAT // first row: COUP at the smallest size
 				}
 				t.AddRow(fmt.Sprint(c), protoName(proto),
-					stats.F(amat/norm),
-					stats.F((b[1])/norm), stats.F(b[2]/norm), stats.F(b[3]/norm),
-					stats.F(b[4]/norm), stats.F(b[5]/norm), stats.F(b[6]/norm))
+					stats.F(st.AMAT/norm),
+					stats.F(b.L2/norm), stats.F(b.L3/norm), stats.F(b.OffChipNet/norm),
+					stats.F(b.L4Inval/norm), stats.F(b.L4/norm), stats.F(b.MainMem/norm))
 			}
 		}
 		tables = append(tables, t)
@@ -99,11 +97,11 @@ func fig11(p Params) []*stats.Table {
 	return tables
 }
 
-func protoName(pr sim.Protocol) string {
-	if pr == sim.MEUSI {
+func protoName(pr string) string {
+	if pr == "MEUSI" {
 		return "COUP"
 	}
-	return pr.String()
+	return pr
 }
 
 // fig12 reproduces Fig 12: hist as an explicit reduction variable, COUP vs
@@ -115,11 +113,11 @@ func fig12(p Params) []*stats.Table {
 			Title:   fmt.Sprintf("Fig 12: hist privatization comparison, %d bins (speedup vs 1-core COUP)", bins),
 			Headers: []string{"cores", "COUP", "core-priv", "socket-priv"},
 		}
-		base, _ := measure(histWorkload(p, bins, workloads.HistShared), 1, sim.MEUSI, p)
+		base, _ := measure(histWorkload(p, bins, "hist"), 1, "MEUSI", p)
 		for _, c := range p.coreSweep() {
-			coup, _ := measure(histWorkload(p, bins, workloads.HistShared), c, sim.MEUSI, p)
-			core, _ := measure(histWorkload(p, bins, workloads.HistPrivCore), c, sim.MESI, p)
-			sock, _ := measure(histWorkload(p, bins, workloads.HistPrivSocket), c, sim.MESI, p)
+			coup, _ := measure(histWorkload(p, bins, "hist"), c, "MEUSI", p)
+			core, _ := measure(histWorkload(p, bins, "hist-priv-core"), c, "MESI", p)
+			sock, _ := measure(histWorkload(p, bins, "hist-priv-socket"), c, "MESI", p)
 			t.AddRow(fmt.Sprint(c), stats.F(base/coup), stats.F(base/core), stats.F(base/sock))
 		}
 		tables = append(tables, t)
@@ -134,24 +132,21 @@ func refcountImmediate(p Params, high bool, title string) []*stats.Table {
 	// propagating to the root).
 	updates := p.scaleInt(8192)
 	counters := 1024
-	mk := func() workloads.Workload {
-		return workloads.NewRefCount(counters, updates, high, workloads.RefPlain, 21)
-	}
-	mkSnzi := func() workloads.Workload {
-		return workloads.NewRefCount(counters, updates, high, workloads.RefSNZI, 21)
-	}
+	wp := coup.WorkloadParams{Counters: counters, Size: updates, HighCount: high, Seed: 21}
+	mk := workload("refcount", wp)
+	mkSnzi := workload("refcount-snzi", wp)
 	t := &stats.Table{
 		Title:   title,
 		Headers: []string{"cores", "XADD", "COUP", "SNZI"},
 	}
-	base, _ := measure(mk, 1, sim.MESI, p)
+	base, _ := measure(mk, 1, "MESI", p)
 	// Each thread performs a fixed number of updates, so the figure's
 	// speedup is aggregate throughput relative to one XADD thread.
 	for _, c := range p.coreSweep() {
 		fc := float64(c)
-		xadd, _ := measure(mk, c, sim.MESI, p)
-		coup, _ := measure(mk, c, sim.MEUSI, p)
-		snzi, _ := measure(mkSnzi, c, sim.MESI, p)
+		xadd, _ := measure(mk, c, "MESI", p)
+		coup, _ := measure(mk, c, "MEUSI", p)
+		snzi, _ := measure(mkSnzi, c, "MESI", p)
 		t.AddRow(fmt.Sprint(c), stats.F(fc*base/xadd), stats.F(fc*base/coup), stats.F(fc*base/snzi))
 	}
 	t.AddNote("throughput speedup vs 1-core XADD; %d counters, %d updates/thread", counters, updates)
@@ -181,16 +176,11 @@ func fig13c(p Params) []*stats.Table {
 	}
 	for _, upe := range []int{10, 50, 100, 300, 1000} {
 		upe := p.scaleInt(upe)
-		mkCoup := func() workloads.Workload {
-			return workloads.NewRefCountDelayed(counters, epochs, upe, workloads.DelayedCoup, 27)
-		}
-		mkRC := func() workloads.Workload {
-			return workloads.NewRefCountDelayed(counters, epochs, upe, workloads.DelayedRefcache, 27)
-		}
-		coup, _ := measure(mkCoup, cores, sim.MEUSI, p)
-		rc, _ := measure(mkRC, cores, sim.MESI, p)
+		wp := coup.WorkloadParams{Counters: counters, Iters: epochs, UpdatesPerEpoch: upe, Seed: 27}
+		cycCoup, _ := measure(workload("refcount-delayed", wp), cores, "MEUSI", p)
+		rc, _ := measure(workload("refcount-refcache", wp), cores, "MESI", p)
 		work := float64(upe * epochs * cores)
-		t.AddRow(fmt.Sprint(upe), stats.F(work/coup*1000), stats.F(work/rc*1000), stats.F(rc/coup))
+		t.AddRow(fmt.Sprint(upe), stats.F(work/cycCoup*1000), stats.F(work/rc*1000), stats.F(rc/cycCoup))
 	}
 	t.AddNote("performance in updates per kilocycle (higher is better); paper reports COUP up to 2.3x over Refcache")
 	return []*stats.Table{t}

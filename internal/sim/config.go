@@ -22,11 +22,19 @@ package sim
 
 import (
 	"fmt"
+	"sort"
+	"strings"
+	"sync"
 
 	coh "repro/internal/core"
 )
 
-// Protocol selects the memory-system behaviour of a simulated machine.
+// Protocol selects the memory-system behaviour of a simulated machine. It
+// is an index into an open protocol table: the five paper protocols are
+// pre-registered, and new variants (different stable-state tables, remote
+// execution, future N-state generalizations of Sec 3.4) plug in through
+// RegisterProtocol without touching the engine, which only ever consults
+// the behaviour axes of a ProtocolSpec.
 type Protocol uint8
 
 const (
@@ -47,38 +55,137 @@ const (
 	MUSI
 )
 
+// ProtocolSpec describes a protocol variant along the behaviour axes the
+// engine understands: which stable-state table private caches and
+// directories run (internal/core), and whether commutative updates are
+// shipped to the line's home L4 bank instead of being cached locally.
+type ProtocolSpec struct {
+	// Name is the registry key (unique, case-insensitively).
+	Name string
+	// Desc is a one-line description for listings.
+	Desc string
+	// Kind selects the stable-state table (MSI, MESI, MUSI or MEUSI).
+	// Kinds with the U state give commutative updates the private-cache
+	// fast path of Fig 4/Fig 6.
+	Kind coh.Kind
+	// Remote ships commutative updates to the line's home L4 bank (Fig 1b)
+	// instead of executing them in the core. Requires a U-less Kind.
+	Remote bool
+}
+
+// HasU reports whether the spec supports COUP's update-only state.
+func (s ProtocolSpec) HasU() bool { return s.Kind.HasU() }
+
+// CommNative reports whether commutative-update instructions are executed
+// as such rather than falling back to conventional atomics.
+func (s ProtocolSpec) CommNative() bool { return s.HasU() || s.Remote }
+
+var (
+	protocolMu sync.RWMutex
+	// protocolTable is indexed by Protocol; the first five entries mirror
+	// the MESI..MUSI constants above.
+	protocolTable = []ProtocolSpec{
+		MESI:  {Name: "MESI", Desc: "baseline; commutative updates run as atomics (Sec 2)", Kind: coh.MESI},
+		MEUSI: {Name: "MEUSI", Desc: "COUP on MESI: update-only state with E optimization (Fig 6)", Kind: coh.MEUSI},
+		RMO:   {Name: "RMO", Desc: "remote memory operations at the home L4 bank (Fig 1b)", Kind: coh.MESI, Remote: true},
+		MSI:   {Name: "MSI", Desc: "E-less baseline (Sec 3.1 starting point)", Kind: coh.MSI},
+		MUSI:  {Name: "MUSI", Desc: "COUP on MSI: update-only state without E (Fig 4)", Kind: coh.MUSI},
+	}
+)
+
+// RegisterProtocol adds a protocol variant to the table and returns its
+// Protocol id. It fails on an empty or duplicate name (case-insensitive)
+// and on inconsistent axes (Remote with a U-state Kind). Registration must
+// complete before machines using the new protocol are built; it is safe
+// for concurrent use.
+func RegisterProtocol(s ProtocolSpec) (Protocol, error) {
+	if s.Name == "" {
+		return 0, fmt.Errorf("sim: protocol name must be non-empty")
+	}
+	if s.Remote && s.Kind.HasU() {
+		return 0, fmt.Errorf("sim: protocol %q: Remote requires a U-less Kind, got %v", s.Name, s.Kind)
+	}
+	protocolMu.Lock()
+	defer protocolMu.Unlock()
+	for _, have := range protocolTable {
+		if strings.EqualFold(have.Name, s.Name) {
+			return 0, fmt.Errorf("sim: protocol %q already registered", s.Name)
+		}
+	}
+	if len(protocolTable) > int(^uint8(0)) {
+		return 0, fmt.Errorf("sim: protocol table full")
+	}
+	protocolTable = append(protocolTable, s)
+	return Protocol(len(protocolTable) - 1), nil
+}
+
+// ProtocolByName looks up a registered protocol case-insensitively.
+func ProtocolByName(name string) (Protocol, bool) {
+	protocolMu.RLock()
+	defer protocolMu.RUnlock()
+	for i, s := range protocolTable {
+		if strings.EqualFold(s.Name, name) {
+			return Protocol(i), true
+		}
+	}
+	return 0, false
+}
+
+// ProtocolIDs returns the id of every registered protocol, sorted by name.
+func ProtocolIDs() []Protocol {
+	type entry struct {
+		id   Protocol
+		name string
+	}
+	protocolMu.RLock()
+	entries := make([]entry, len(protocolTable))
+	for i, s := range protocolTable {
+		entries[i] = entry{id: Protocol(i), name: s.Name}
+	}
+	protocolMu.RUnlock()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].name < entries[j].name })
+	ids := make([]Protocol, len(entries))
+	for i, e := range entries {
+		ids[i] = e.id
+	}
+	return ids
+}
+
+// Protocols returns the specs of every registered protocol, sorted by name.
+func Protocols() []ProtocolSpec {
+	protocolMu.RLock()
+	out := append([]ProtocolSpec(nil), protocolTable...)
+	protocolMu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Spec returns the protocol's registered behaviour description. Unknown
+// ids return a zero-valued spec (which validates as a broken config).
+func (p Protocol) Spec() ProtocolSpec {
+	protocolMu.RLock()
+	defer protocolMu.RUnlock()
+	if int(p) >= len(protocolTable) {
+		return ProtocolSpec{}
+	}
+	return protocolTable[p]
+}
+
 func (p Protocol) String() string {
-	switch p {
-	case MESI:
-		return "MESI"
-	case MEUSI:
-		return "MEUSI"
-	case RMO:
-		return "RMO"
-	case MSI:
-		return "MSI"
-	case MUSI:
-		return "MUSI"
+	if s := p.Spec(); s.Name != "" {
+		return s.Name
 	}
 	return fmt.Sprintf("Protocol(%d)", uint8(p))
 }
 
 // Kind maps the protocol to its stable-state table kind.
-func (p Protocol) Kind() coh.Kind {
-	switch p {
-	case MEUSI:
-		return coh.MEUSI
-	case MUSI:
-		return coh.MUSI
-	case MSI:
-		return coh.MSI
-	default:
-		return coh.MESI
-	}
-}
+func (p Protocol) Kind() coh.Kind { return p.Spec().Kind }
 
 // HasU reports whether the protocol supports COUP's update-only state.
-func (p Protocol) HasU() bool { return p == MEUSI || p == MUSI }
+func (p Protocol) HasU() bool { return p.Spec().HasU() }
+
+// Remote reports whether commutative updates execute at the home L4 bank.
+func (p Protocol) Remote() bool { return p.Spec().Remote }
 
 // Config describes a simulated machine. The zero value is not usable; start
 // from DefaultConfig.
@@ -189,6 +296,9 @@ func (c *Config) Chips() int {
 
 // Validate reports configuration errors.
 func (c *Config) Validate() error {
+	if c.Protocol.Spec().Name == "" {
+		return fmt.Errorf("sim: unregistered protocol id %d", uint8(c.Protocol))
+	}
 	if c.Cores < 1 {
 		return fmt.Errorf("sim: Cores must be >= 1, got %d", c.Cores)
 	}

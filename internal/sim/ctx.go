@@ -135,10 +135,9 @@ func (x *Ctx) CAS32(addr uint64, old, new uint32) bool {
 
 // comm issues a commutative update, falling back per protocol.
 func (x *Ctx) comm(t ops.Type, addr, v uint64, width uint8) {
-	switch x.m.cfg.Protocol {
-	case MEUSI, MUSI, RMO:
+	if x.m.commNative {
 		x.issue(request{kind: opComm, addr: addr, val: v, width: width, otype: t})
-	default:
+	} else {
 		// MESI baseline: the same update expressed with conventional atomics.
 		switch t {
 		case ops.AddI16, ops.AddI32, ops.AddI64:

@@ -69,6 +69,10 @@ type Machine struct {
 
 	allocPtr uint64
 	ran      bool
+
+	// commNative caches Protocol.Spec().CommNative() so the per-operation
+	// dispatch in Ctx.comm avoids the protocol-table lock.
+	commNative bool
 }
 
 // New builds a machine for cfg. It panics on invalid configuration (a
@@ -78,9 +82,10 @@ func New(cfg Config) *Machine {
 		panic(err)
 	}
 	m := &Machine{
-		cfg:      cfg,
-		opCh:     make(chan *core),
-		allocPtr: 1 << 20, // leave page zero unmapped
+		cfg:        cfg,
+		opCh:       make(chan *core),
+		allocPtr:   1 << 20, // leave page zero unmapped
+		commNative: cfg.Protocol.Spec().CommNative(),
 	}
 	m.cores = make([]*core, cfg.Cores)
 	for i := range m.cores {

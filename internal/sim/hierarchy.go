@@ -131,6 +131,7 @@ type hierarchy struct {
 	jrng   rng
 	nChips int
 	hasU   bool
+	remote bool
 }
 
 func newHierarchy(cfg *Config, st *Stats) *hierarchy {
@@ -141,6 +142,7 @@ func newHierarchy(cfg *Config, st *Stats) *hierarchy {
 		store:  newBacking(),
 		nChips: n,
 		hasU:   cfg.Protocol.HasU(),
+		remote: cfg.Protocol.Remote(),
 		jrng:   newRNG(cfg.Seed ^ 0xC0FFEE),
 	}
 	h.priv = make([]*privCache, cfg.Cores)
@@ -216,7 +218,7 @@ func (h *hierarchy) access(c *core) uint64 {
 		h.st.CommUpdates++
 	}
 
-	if h.cfg.Protocol == RMO && r.kind == opComm {
+	if h.remote && r.kind == opComm {
 		return h.rmoUpdate(c)
 	}
 

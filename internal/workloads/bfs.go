@@ -179,3 +179,19 @@ func (b *BFS) Validate(m *sim.Machine) error {
 	}
 	return nil
 }
+
+func init() {
+	mustRegister("bfs",
+		"parallel BFS with a commutative-OR visited bitmap (Sec 4.2; Scale, EdgeFactor, Seed)",
+		func(p Params) (Workload, error) {
+			scale, err := p.def(p.Scale, 13)
+			if err != nil {
+				return nil, err
+			}
+			ef, err := p.def(p.EdgeFactor, 10)
+			if err != nil {
+				return nil, err
+			}
+			return NewBFS(scale, ef, p.seed(13)), nil
+		})
+}

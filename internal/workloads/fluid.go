@@ -142,3 +142,19 @@ func (f *Fluid) Validate(m *sim.Machine) error {
 	}
 	return nil
 }
+
+func init() {
+	mustRegister("fluid",
+		"fluidanimate-like stencil scattering commutative FP adds (Table 2; Size=grid side, Iters, Seed)",
+		func(p Params) (Workload, error) {
+			side, err := p.def(p.Size, 96)
+			if err != nil {
+				return nil, err
+			}
+			iters, err := p.def(p.Iters, 3)
+			if err != nil {
+				return nil, err
+			}
+			return NewFluid(side, side, iters, p.seed(17)), nil
+		})
+}

@@ -164,3 +164,29 @@ func (h *Hist) Validate(m *sim.Machine) error {
 	}
 	return nil
 }
+
+func histFactory(mode HistMode) Factory {
+	return func(p Params) (Workload, error) {
+		pixels, err := p.def(p.Size, 100_000)
+		if err != nil {
+			return nil, err
+		}
+		bins, err := p.def(p.Bins, 512)
+		if err != nil {
+			return nil, err
+		}
+		return NewHist(pixels, bins, mode, p.seed(7)), nil
+	}
+}
+
+func init() {
+	mustRegister("hist",
+		"parallel histogram, one shared copy (Fig 2, Fig 10a; Size=pixels, Bins, Seed)",
+		histFactory(HistShared))
+	mustRegister("hist-priv-core",
+		"histogram with per-thread private copies (Sec 5.3 core-level privatization; Size=pixels, Bins, Seed)",
+		histFactory(HistPrivCore))
+	mustRegister("hist-priv-socket",
+		"histogram with per-socket copies (Sec 5.3 socket-level privatization; Size=pixels, Bins, Seed)",
+		histFactory(HistPrivSocket))
+}

@@ -129,3 +129,23 @@ func (p *PgRank) Validate(m *sim.Machine) error {
 	}
 	return nil
 }
+
+func init() {
+	mustRegister("pgrank",
+		"PageRank on an R-MAT graph with commutative int adds (Table 2; Scale, EdgeFactor, Iters, Seed)",
+		func(p Params) (Workload, error) {
+			scale, err := p.def(p.Scale, 12)
+			if err != nil {
+				return nil, err
+			}
+			ef, err := p.def(p.EdgeFactor, 12)
+			if err != nil {
+				return nil, err
+			}
+			iters, err := p.def(p.Iters, 2)
+			if err != nil {
+				return nil, err
+			}
+			return NewPgRank(scale, ef, iters, p.seed(9)), nil
+		})
+}

@@ -418,3 +418,59 @@ func (r *RefCountDelayed) Validate(m *sim.Machine) error {
 	}
 	return nil
 }
+
+func refcountFactory(impl RefImpl) Factory {
+	return func(p Params) (Workload, error) {
+		counters, err := p.def(p.Counters, 1024)
+		if err != nil {
+			return nil, err
+		}
+		updates, err := p.def(p.Size, 2000)
+		if err != nil {
+			return nil, err
+		}
+		return NewRefCount(counters, updates, p.HighCount, impl, p.seed(21)), nil
+	}
+}
+
+func delayedFactory(impl DelayedImpl) Factory {
+	return func(p Params) (Workload, error) {
+		counters, err := p.def(p.Counters, 8192)
+		if err != nil {
+			return nil, err
+		}
+		epochs, err := p.def(p.Iters, 2)
+		if err != nil {
+			return nil, err
+		}
+		upe, err := p.def(p.UpdatesPerEpoch, 300)
+		if err != nil {
+			return nil, err
+		}
+		return NewRefCountDelayed(counters, epochs, upe, impl, p.seed(27)), nil
+	}
+}
+
+func init() {
+	mustRegister("refcount",
+		"shared reference counters, immediate dealloc, plain counters (Sec 5.4, Fig 13a/b; Counters, Size=updates/thread, HighCount, Seed)",
+		refcountFactory(RefPlain))
+	mustRegister("refcount-snzi",
+		"reference counting via SNZI trees (Sec 5.4 software baseline; Counters, Size=updates/thread, HighCount, Seed)",
+		refcountFactory(RefSNZI))
+	mustRegister("counter",
+		"one maximally-contended shared counter (Fig 1; Size=updates/thread, Seed)",
+		func(p Params) (Workload, error) {
+			updates, err := p.def(p.Size, 2000)
+			if err != nil {
+				return nil, err
+			}
+			return NewRefCount(1, updates, true, RefPlain, p.seed(3)), nil
+		})
+	mustRegister("refcount-delayed",
+		"delayed deallocation with COUP counters + modified bitmap (Sec 5.4, Fig 13c; Counters, Iters=epochs, UpdatesPerEpoch, Seed)",
+		delayedFactory(DelayedCoup))
+	mustRegister("refcount-refcache",
+		"delayed deallocation via Refcache per-thread delta caches (Sec 5.4 software baseline; Counters, Iters=epochs, UpdatesPerEpoch, Seed)",
+		delayedFactory(DelayedRefcache))
+}

@@ -115,3 +115,19 @@ func approxEq(a, b, rel float64) bool {
 	}
 	return d <= rel*scale
 }
+
+func init() {
+	mustRegister("spmv",
+		"sparse matrix-vector product with commutative FP adds (Table 2; Size=matrix dim, NNZPerCol, Seed)",
+		func(p Params) (Workload, error) {
+			n, err := p.def(p.Size, 6250)
+			if err != nil {
+				return nil, err
+			}
+			nnz, err := p.def(p.NNZPerCol, 24)
+			if err != nil {
+				return nil, err
+			}
+			return NewSpMV(n, nnz, p.seed(5)), nil
+		})
+}

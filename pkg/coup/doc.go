@@ -1,0 +1,72 @@
+// Package coup is the public API of the COUP reproduction (Zhang,
+// Harrison & Sanchez, "Exploiting Commutativity to Reduce the Cost of
+// Updates to Shared Data in Cache-Coherent Systems", MICRO 2015). It
+// exposes the execution-driven simulator, the paper's protocols and
+// benchmarks, and the experiment entry points behind a stable facade so
+// that new protocols and workloads plug in by name without touching the
+// engine.
+//
+// # Concepts and where they come from in the paper
+//
+//   - Protocol: a coherence protocol variant, selected by name. The five
+//     built-ins are the paper's: MESI (the Sec 2 baseline, commutative
+//     updates run as atomics), MSI (the E-less starting point of Sec 3.1),
+//     MUSI (MSI plus COUP's update-only U state, Fig 4), MEUSI (the full
+//     COUP protocol with the exclusive-clean optimization, Fig 6), and RMO
+//     (remote memory operations executed at the line's home L4 bank,
+//     Fig 1b). RegisterProtocol adds new variants — e.g. the N-state
+//     generalizations sketched in Sec 3.4 — by declaring their behaviour
+//     axes; the engine consults only those axes.
+//
+//   - Workload: one benchmark instance. The built-ins are the Table 2
+//     applications (hist, spmv, pgrank, bfs, fluid) and the Sec 5.4
+//     reference-counting family (refcount, refcount-snzi, counter,
+//     refcount-delayed, refcount-refcache), each expressed once with
+//     commutative-update instructions so a single kernel runs unmodified
+//     under every protocol. Every run validates its final memory image
+//     against a sequential reference. RegisterWorkload adds new ones.
+//
+//   - Machine: the simulated multi-socket system of Table 1 / Fig 9,
+//     built with functional options: NewMachine(WithCores(64),
+//     WithProtocol("MEUSI"), ...). Alloc simulated memory, Run a kernel,
+//     read the final image back.
+//
+//   - Stats: one run's measurements — cycles, the Fig 11 AMAT breakdown,
+//     protocol events (reductions, invalidations, U grants) and the
+//     Sec 5.2 traffic split. The type is stable and JSON-serializable.
+//
+// # Quickstart
+//
+// Run a registered workload by name under two protocols and compare:
+//
+//	for _, p := range []string{"MESI", "MEUSI"} {
+//		st, err := coup.Run("hist",
+//			coup.WithCores(64),
+//			coup.WithProtocol(p),
+//			coup.WithWorkloadParams(coup.WorkloadParams{Size: 100_000, Bins: 512}),
+//		)
+//		if err != nil {
+//			log.Fatal(err)
+//		}
+//		fmt.Printf("%-6s %d cycles\n", p, st.Cycles)
+//	}
+//
+// Or build a machine and drive a custom kernel (the Fig 1 contended
+// counter):
+//
+//	m, err := coup.NewMachine(coup.WithCores(64), coup.WithProtocol("MEUSI"))
+//	if err != nil {
+//		log.Fatal(err)
+//	}
+//	ctr := m.Alloc(64, 64)
+//	st := m.Run(func(c *coup.Ctx) {
+//		for i := 0; i < 1000; i++ {
+//			c.CommAdd64(ctr, 1)
+//		}
+//	})
+//	fmt.Println(st.Cycles, m.ReadWord64(ctr))
+//
+// All lookups by name (protocols, workloads) are case-insensitive, and
+// unknown names return typed errors (ErrUnknownProtocol,
+// ErrUnknownWorkload) listing what is registered.
+package coup

@@ -1,0 +1,35 @@
+package coup
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Sentinel errors returned by the registries and the machine builder.
+// Match them with errors.Is; the wrapped messages carry specifics (which
+// name, which option, what is registered).
+var (
+	// ErrUnknownProtocol is returned by protocol lookups for names no
+	// registered protocol answers to.
+	ErrUnknownProtocol = errors.New("unknown protocol")
+	// ErrUnknownWorkload is returned by workload lookups for names no
+	// registered workload answers to.
+	ErrUnknownWorkload = errors.New("unknown workload")
+	// ErrDuplicateName is returned when registering a protocol or workload
+	// under a name that is already taken (names are compared
+	// case-insensitively).
+	ErrDuplicateName = errors.New("name already registered")
+	// ErrInvalidOption is returned by NewMachine and Run when an option's
+	// value is out of range (zero cores, non-power-of-two bank counts, ...).
+	ErrInvalidOption = errors.New("invalid option")
+	// ErrConflictingOptions is returned when the same knob is set twice
+	// with different values in one option list.
+	ErrConflictingOptions = errors.New("conflicting options")
+)
+
+// unknownNameError formats "unknown X "name" (have: a, b, c)" wrapping the
+// given sentinel.
+func unknownNameError(sentinel error, name string, have []string) error {
+	return fmt.Errorf("coup: %w %q (have: %s)", sentinel, name, strings.Join(have, ", "))
+}

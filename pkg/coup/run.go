@@ -1,0 +1,50 @@
+package coup
+
+import (
+	"fmt"
+
+	"repro/internal/workloads"
+)
+
+// Run builds the named workload (WithWorkloadParams sets its size knobs),
+// builds a machine from the remaining options, executes the workload and
+// validates its final memory image plus the protocol's coherence
+// invariants. The returned Stats are valid even when validation fails, so
+// callers can report partial results alongside the error.
+func Run(workload string, opts ...Option) (Stats, error) {
+	info, err := LookupWorkload(workload)
+	if err != nil {
+		return Stats{}, err
+	}
+	b, err := newBuilder(opts)
+	if err != nil {
+		return Stats{}, err
+	}
+	w, err := info.New(b.wp)
+	if err != nil {
+		// Bad factory parameters are an option error (they arrived via
+		// WithWorkloadParams), so callers can errors.Is them as usage.
+		return Stats{}, fmt.Errorf("coup: workload %q: %w: %w", info.Name, ErrInvalidOption, err)
+	}
+	return runOn(w, info.Name, b)
+}
+
+// RunWorkload is Run for a pre-built workload instance — use it for
+// workloads constructed directly rather than through the registry.
+// Workloads are single-run; build a fresh instance for every call.
+func RunWorkload(w Workload, opts ...Option) (Stats, error) {
+	b, err := newBuilder(opts)
+	if err != nil {
+		return Stats{}, err
+	}
+	return runOn(w, w.Name(), b)
+}
+
+func runOn(w Workload, name string, b *builder) (Stats, error) {
+	st, err := workloads.Run(w, b.cfg)
+	out := statsFrom(st, b.cfg, name)
+	if err != nil {
+		return out, fmt.Errorf("coup: %w", err)
+	}
+	return out, nil
+}

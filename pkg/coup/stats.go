@@ -1,0 +1,154 @@
+package coup
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// AMATBreakdown is the Fig 11 decomposition of average memory access time,
+// in cycles per access attributed to each level of the hierarchy.
+type AMATBreakdown struct {
+	L1         float64 `json:"l1"`
+	L2         float64 `json:"l2"`
+	L3         float64 `json:"l3"`
+	OffChipNet float64 `json:"off_chip_net"`
+	L4Inval    float64 `json:"l4_inval"`
+	L4         float64 `json:"l4"`
+	MainMem    float64 `json:"main_mem"`
+}
+
+// Traffic is the Sec 5.2 traffic split: on-chip (core↔L3), off-chip
+// (chip↔L4 over the dancehall links) and memory.
+type Traffic struct {
+	OnChipMsgs   uint64 `json:"on_chip_msgs"`
+	OnChipBytes  uint64 `json:"on_chip_bytes"`
+	OffChipMsgs  uint64 `json:"off_chip_msgs"`
+	OffChipBytes uint64 `json:"off_chip_bytes"`
+	MemBytes     uint64 `json:"mem_bytes"`
+}
+
+// Stats aggregates everything one simulation run measures. The type is
+// stable and JSON-serializable; it is the unit of output for Run,
+// Machine.Run, and downstream experiment harnesses.
+type Stats struct {
+	// Protocol and Workload name the run (Workload is empty for custom
+	// kernels driven through Machine.Run).
+	Protocol string `json:"protocol"`
+	Workload string `json:"workload,omitempty"`
+	Cores    int    `json:"cores"`
+
+	// Cycles is the simulated end-to-end run time (max core finish time).
+	Cycles uint64 `json:"cycles"`
+	// Instructions counts memory operations plus Work()-modelled
+	// computation, for the Table 2 instruction-mix fractions.
+	Instructions uint64 `json:"instructions"`
+
+	// Operation counts.
+	Accesses    uint64 `json:"accesses"`
+	Loads       uint64 `json:"loads"`
+	Stores      uint64 `json:"stores"`
+	Atomics     uint64 `json:"atomics"`
+	CommUpdates uint64 `json:"comm_updates"`
+
+	// Hit distribution (where each access was satisfied).
+	L1Hits      uint64 `json:"l1_hits"`
+	L2Hits      uint64 `json:"l2_hits"`
+	L3Hits      uint64 `json:"l3_hits"`
+	L4Hits      uint64 `json:"l4_hits"`
+	MemAccesses uint64 `json:"mem_accesses"`
+	// ULocalHits counts commutative updates satisfied in the private cache
+	// (U or M/E state) — COUP's fast path.
+	ULocalHits uint64 `json:"u_local_hits"`
+
+	// AMAT is the average memory access time in cycles; Breakdown
+	// decomposes it per hierarchy level (Fig 11).
+	AMAT      float64       `json:"amat"`
+	Breakdown AMATBreakdown `json:"amat_breakdown"`
+
+	// Protocol events.
+	Invalidations     uint64 `json:"invalidations"`
+	Downgrades        uint64 `json:"downgrades"`
+	FullReductions    uint64 `json:"full_reductions"`
+	PartialReductions uint64 `json:"partial_reductions"`
+	TypeSwitches      uint64 `json:"type_switches"`
+	UGrants           uint64 `json:"u_grants"`
+
+	Traffic Traffic `json:"traffic"`
+}
+
+// statsFrom converts the simulator's raw counters to the public type.
+func statsFrom(st sim.Stats, cfg sim.Config, workload string) Stats {
+	b := st.AMATBreakdown()
+	return Stats{
+		Protocol:     cfg.Protocol.String(),
+		Workload:     workload,
+		Cores:        cfg.Cores,
+		Cycles:       st.Cycles,
+		Instructions: st.Instrs,
+		Accesses:     st.Accesses,
+		Loads:        st.Loads,
+		Stores:       st.Stores,
+		Atomics:      st.Atomics,
+		CommUpdates:  st.CommUpdates,
+		L1Hits:       st.L1Hits,
+		L2Hits:       st.L2Hits,
+		L3Hits:       st.L3Hits,
+		L4Hits:       st.L4Hits,
+		MemAccesses:  st.MemAccs,
+		ULocalHits:   st.ULocalHits,
+		AMAT:         st.AMAT(),
+		Breakdown: AMATBreakdown{
+			L1: b[0], L2: b[1], L3: b[2], OffChipNet: b[3],
+			L4Inval: b[4], L4: b[5], MainMem: b[6],
+		},
+		Invalidations:     st.Invalidations,
+		Downgrades:        st.Downgrades,
+		FullReductions:    st.FullReductions,
+		PartialReductions: st.PartialReductions,
+		TypeSwitches:      st.TypeSwitches,
+		UGrants:           st.UGrants,
+		Traffic: Traffic{
+			OnChipMsgs:   st.OnChipMsgs,
+			OnChipBytes:  st.OnChipBytes,
+			OffChipMsgs:  st.OffChipMsgs,
+			OffChipBytes: st.OffChipBytes,
+			MemBytes:     st.MemBytes,
+		},
+	}
+}
+
+// CommFraction returns commutative updates as a fraction of all modelled
+// instructions (Table 2 / Sec 5.2 reporting).
+func (s Stats) CommFraction() float64 {
+	if s.Instructions == 0 {
+		return 0
+	}
+	return float64(s.CommUpdates) / float64(s.Instructions)
+}
+
+// JSON returns the stats as indented JSON.
+func (s Stats) JSON() ([]byte, error) { return json.MarshalIndent(s, "", "  ") }
+
+// String summarizes the run for command-line output.
+func (s Stats) String() string {
+	b := s.Breakdown
+	head := s.Protocol
+	if s.Workload != "" {
+		head = s.Workload + " under " + s.Protocol
+	}
+	return fmt.Sprintf(
+		"%s on %d cores:\n"+
+			"cycles=%d accesses=%d (ld=%d st=%d at=%d cu=%d) hits L1=%d L2=%d L3=%d L4=%d mem=%d\n"+
+			"AMAT=%.2f [L1=%.2f L2=%.2f L3=%.2f net=%.2f l4inv=%.2f L4=%.2f mem=%.2f]\n"+
+			"inval=%d downg=%d fullred=%d partred=%d typesw=%d ugrants=%d ulocal=%d\n"+
+			"traffic onchip=%dB offchip=%dB mem=%dB",
+		head, s.Cores,
+		s.Cycles, s.Accesses, s.Loads, s.Stores, s.Atomics, s.CommUpdates,
+		s.L1Hits, s.L2Hits, s.L3Hits, s.L4Hits, s.MemAccesses,
+		s.AMAT, b.L1, b.L2, b.L3, b.OffChipNet, b.L4Inval, b.L4, b.MainMem,
+		s.Invalidations, s.Downgrades, s.FullReductions, s.PartialReductions,
+		s.TypeSwitches, s.UGrants, s.ULocalHits,
+		s.Traffic.OnChipBytes, s.Traffic.OffChipBytes, s.Traffic.MemBytes)
+}
