@@ -6,8 +6,15 @@
 //
 //	coupbench -exp fig10              # one experiment at full scale
 //	coupbench -exp all -scale 0.2     # everything, scaled down 5x
+//	coupbench -exp all -parallel 8    # fan independent simulations out over 8 workers
 //	coupbench -list                   # enumerate experiment ids
 //	coupbench -exp fig2 -csv results  # also write CSV files
+//
+// Each experiment enumerates its full data-point grid and evaluates it
+// through coup.Sweep; -parallel only bounds the worker pool, so tables are
+// byte-identical at any setting. The one exception is fig8, which drives
+// the model checker serially and reports measured wall-clock per cell —
+// its time column varies between any two runs (states and verdicts don't).
 package main
 
 import (
@@ -23,14 +30,19 @@ import (
 
 func main() {
 	var (
-		expID  = flag.String("exp", "", "experiment id (or 'all')")
-		scale  = flag.Float64("scale", 1.0, "input scale factor (1.0 = full)")
-		reps   = flag.Int("reps", 1, "seeded repetitions per data point")
-		cores  = flag.Int("maxcores", 128, "cap on simulated core counts")
-		csvDir = flag.String("csv", "", "directory to write CSV outputs into")
-		list   = flag.Bool("list", false, "list experiment ids and exit")
+		expID    = flag.String("exp", "", "experiment id (or 'all')")
+		scale    = flag.Float64("scale", 1.0, "input scale factor (1.0 = full)")
+		reps     = flag.Int("reps", 1, "seeded repetitions per data point")
+		cores    = flag.Int("maxcores", 128, "cap on simulated core counts")
+		parallel = flag.Int("parallel", 0, "concurrent simulations per experiment (0 = GOMAXPROCS); never changes results")
+		csvDir   = flag.String("csv", "", "directory to write CSV outputs into")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
 	)
 	flag.Parse()
+	if *parallel < 0 {
+		fmt.Fprintln(os.Stderr, "coupbench: -parallel must be >= 0")
+		os.Exit(2)
+	}
 
 	if *list || *expID == "" {
 		fmt.Println("experiments:")
@@ -47,6 +59,7 @@ func main() {
 	p.Scale = *scale
 	p.Reps = *reps
 	p.MaxCores = *cores
+	p.Parallel = *parallel
 
 	var toRun []exp.Experiment
 	if strings.EqualFold(*expID, "all") {

@@ -8,6 +8,7 @@ package exp
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 
@@ -19,11 +20,14 @@ import (
 // simulation-sized) configuration; smaller values shrink inputs for quick
 // runs and benchmarks. Reps is the number of seeded repetitions per data
 // point (Alameldeen-Wood non-determinism injection); MaxCores caps the
-// core-count sweeps.
+// core-count sweeps. Parallel bounds the worker pool fanning independent
+// simulations out (0 = GOMAXPROCS); it affects wall-clock time only,
+// never results.
 type Params struct {
 	Scale    float64
 	Reps     int
 	MaxCores int
+	Parallel int
 	Verbose  bool
 }
 
@@ -33,7 +37,7 @@ func DefaultParams() Params {
 }
 
 func (p Params) scaleInt(n int) int {
-	v := int(float64(n) * p.Scale)
+	v := int(math.Round(float64(n) * p.Scale))
 	if v < 1 {
 		v = 1
 	}
@@ -97,31 +101,119 @@ func Names() []string {
 	return ids
 }
 
-// measure runs mk()'s workload reps times with different machine seeds and
-// returns the mean cycle count plus the last run's stats. The protocol is
-// a pkg/coup registry name. It panics on validation failures (an
-// experiment must not silently report results from a broken run).
-func measure(mk func() coup.Workload, cores int, proto string, p Params, extra ...coup.Option) (float64, coup.Stats) {
-	var cycles []float64
-	var last coup.Stats
+// point is one aggregated data point: the mean cycle count and the CI95
+// half-width over the seeded reps, plus rep-mean-aggregated stats
+// (coup.MeanStats). Fields are filled in by grid.run.
+type point struct {
+	Cycles float64
+	CI     float64
+	Stats  coup.Stats
+}
+
+// grid is how experiment runners talk to the sweep engine: they enumerate
+// their full data-point set up front with add, evaluate everything in one
+// parallel coup.Sweep with run, then read results back through the
+// returned points. Results are bit-identical to a serial evaluation at any
+// parallelism: aggregation is keyed by spec index, and each rep's seed
+// derives from its position in the spec list, never from worker identity.
+type grid struct {
+	p     Params
+	reps  int
+	specs []coup.RunSpec
+	pts   []*point
+}
+
+func newGrid(p Params) *grid {
 	reps := p.Reps
 	if reps < 1 {
 		reps = 1
 	}
-	for r := 0; r < reps; r++ {
+	return &grid{p: p, reps: reps}
+}
+
+// add registers one data point — reps seeded runs of mk's workload under
+// proto on cores — and returns the point run will fill in.
+func (g *grid) add(mk func() coup.Workload, cores int, proto string, extra ...coup.Option) *point {
+	pt := &point{}
+	g.pts = append(g.pts, pt)
+	for r := 0; r < g.reps; r++ {
 		opts := append([]coup.Option{
 			coup.WithCores(cores),
 			coup.WithProtocol(proto),
 			coup.WithSeed(uint64(r + 1)),
 		}, extra...)
-		st, err := coup.RunWorkload(mk(), opts...)
-		if err != nil {
-			panic(fmt.Sprintf("measure %d cores %v: %v", cores, proto, err))
-		}
-		cycles = append(cycles, float64(st.Cycles))
-		last = st
+		g.specs = append(g.specs, coup.RunSpec{
+			Make:    func() (coup.Workload, error) { return mk(), nil },
+			Options: opts,
+		})
 	}
-	return stats.Mean(cycles), last
+	return pt
+}
+
+// run fans the accumulated specs out across the worker pool and aggregates
+// per point. It panics on any failed run (an experiment must not silently
+// report results from a broken run).
+func (g *grid) run() {
+	var sopts []coup.SweepOption
+	if g.p.Parallel > 0 {
+		sopts = append(sopts, coup.WithParallelism(g.p.Parallel))
+	}
+	results, err := coup.Sweep(g.specs, sopts...)
+	if err != nil {
+		panic(fmt.Sprintf("exp: sweep: %v", err))
+	}
+	for i, res := range results {
+		if res.Err != nil {
+			panic(fmt.Sprintf("exp: sweep spec %d of %d: %v", i, len(results), res.Err))
+		}
+	}
+	for pi, pt := range g.pts {
+		cycles := make([]float64, g.reps)
+		runs := make([]coup.Stats, g.reps)
+		for r := 0; r < g.reps; r++ {
+			st := results[pi*g.reps+r].Stats
+			cycles[r] = float64(st.Cycles)
+			runs[r] = st
+		}
+		*pt = point{
+			Cycles: stats.Mean(cycles),
+			CI:     stats.CI95(cycles),
+			Stats:  coup.MeanStats(runs...),
+		}
+	}
+}
+
+// note records the rep count and the worst-case relative confidence
+// interval on t when the experiment ran more than one rep per point, so
+// multi-rep tables carry their measurement uncertainty. pts must be the
+// points the table displays (for multi-table experiments, each table's own
+// series); with none given the whole grid is summarized.
+func (g *grid) note(t *stats.Table, pts ...*point) {
+	if g.reps < 2 {
+		return
+	}
+	if len(pts) == 0 {
+		pts = g.pts
+	}
+	var worst float64
+	for _, pt := range pts {
+		if pt.Cycles > 0 && pt.CI/pt.Cycles > worst {
+			worst = pt.CI / pt.Cycles
+		}
+	}
+	t.AddNote("each point is the mean of %d seeded reps; worst-case ±CI95 is %.1f%% of the mean cycle count", g.reps, worst*100)
+}
+
+// measure evaluates a single data point: mk()'s workload, reps times with
+// different machine seeds, under proto on cores. It is a thin aggregation
+// over a one-point grid; runners measuring more than one point should
+// build a grid directly so the whole set fans out in one sweep. It panics
+// on validation failures.
+func measure(mk func() coup.Workload, cores int, proto string, p Params, extra ...coup.Option) point {
+	g := newGrid(p)
+	pt := g.add(mk, cores, proto, extra...)
+	g.run()
+	return *pt
 }
 
 // workload returns a factory building the named registered workload; a

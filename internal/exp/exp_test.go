@@ -56,15 +56,91 @@ func TestScaleInt(t *testing.T) {
 	if p.scaleInt(1) != 1 {
 		t.Error("scaleInt must floor at 1")
 	}
+	// Regression: truncation collapsed small sweeps (0.3 of 5 floored to 1).
+	if got := (Params{Scale: 0.3}).scaleInt(5); got != 2 {
+		t.Errorf("scaleInt(5) at 0.3 = %d, want 2 (round, not floor)", got)
+	}
+	if got := (Params{Scale: 0.3}).scaleInt(10); got != 3 {
+		t.Errorf("scaleInt(10) at 0.3 = %d, want 3", got)
+	}
 }
 
 func TestMeasureValidatesAndAverages(t *testing.T) {
 	p := tinyParams()
-	p.Reps = 2
+	p.Reps = 3
 	mk := workload("hist", coup.WorkloadParams{Size: 2000, Bins: 64, Seed: 1})
-	mean, st := measure(mk, 4, "MEUSI", p)
-	if mean <= 0 || st.Cycles == 0 {
+	pt := measure(mk, 4, "MEUSI", p)
+	if pt.Cycles <= 0 || pt.Stats.Cycles == 0 {
 		t.Fatal("measure returned nothing")
+	}
+	if pt.CI <= 0 {
+		t.Error("three seeded reps with jitter must have a positive CI95")
+	}
+	// The aggregated stats must be the rep mean, not any single rep: the
+	// mean cycle count agrees with the cycles aggregate (within rounding).
+	if d := pt.Cycles - float64(pt.Stats.Cycles); d > 0.5 || d < -0.5 {
+		t.Errorf("mean stats cycles %d disagree with mean cycles %v", pt.Stats.Cycles, pt.Cycles)
+	}
+}
+
+// TestGridMatchesMeasure pins the aggregation path: points evaluated
+// through a multi-point grid must be identical to one-point measure calls.
+func TestGridMatchesMeasure(t *testing.T) {
+	p := tinyParams()
+	p.Reps = 2
+	mk := func() coup.Workload { return histWorkload(p, 64, "hist")() }
+	g := newGrid(p)
+	a := g.add(mk, 2, "MESI")
+	b := g.add(mk, 4, "MEUSI")
+	g.run()
+	for _, tc := range []struct {
+		got   point
+		cores int
+		proto string
+	}{{*a, 2, "MESI"}, {*b, 4, "MEUSI"}} {
+		want := measure(mk, tc.cores, tc.proto, p)
+		if tc.got != want {
+			t.Errorf("grid point (%d cores, %s) = %+v, want %+v", tc.cores, tc.proto, tc.got, want)
+		}
+	}
+}
+
+// TestTablesIdenticalSerialVsParallel is the determinism contract of the
+// sweep rewrite: the rendered tables must be byte-identical whether the
+// grid runs on one worker or many. It covers every experiment except fig8,
+// whose "time" column is the model checker's measured wall-clock (it never
+// goes through the sweep engine and differs even between two serial runs).
+func TestTablesIdenticalSerialVsParallel(t *testing.T) {
+	p := Params{Scale: 0.01, Reps: 2, MaxCores: 8}
+	ids := []string{"fig2", "traffic"}
+	if !testing.Short() {
+		ids = ids[:0]
+		for _, e := range All() {
+			if e.ID != "fig8" {
+				ids = append(ids, e.ID)
+			}
+		}
+	}
+	for _, id := range ids {
+		e, ok := ByID(id)
+		if !ok {
+			t.Fatalf("experiment %q not registered", id)
+		}
+		render := func(parallel int) string {
+			pp := p
+			pp.Parallel = parallel
+			var out string
+			for _, tb := range e.Run(pp) {
+				out += tb.String() + "\n"
+			}
+			return out
+		}
+		serial := render(1)
+		parallel := render(8)
+		if serial != parallel {
+			t.Errorf("%s: tables differ between -parallel 1 and -parallel 8:\n--- serial ---\n%s--- parallel ---\n%s",
+				id, serial, parallel)
+		}
 	}
 }
 

@@ -20,7 +20,10 @@ func init() {
 
 // fig8 reproduces Fig 8: reachable-state counts and verification times for
 // two- and three-level MESI and MEUSI as cores and commutative-update types
-// grow. The state budget stands in for Murphi's 16 GB memory limit.
+// grow. The state budget stands in for Murphi's 16 GB memory limit. Unlike
+// the simulation grids, fig8 stays serial: each core count's row decides
+// whether the next one runs at all (the paper's OOM cutoff), so the cells
+// are not independent.
 func fig8(p Params) []*stats.Table {
 	budget := int(float64(3_000_000) * p.Scale)
 	if budget < 20_000 {
@@ -83,27 +86,29 @@ func sec55(p Params) []*stats.Table {
 	if cores > p.MaxCores {
 		cores = p.MaxCores
 	}
+	g := newGrid(p)
+	type row struct {
+		name       string
+		fast, slow *point
+	}
+	var rows []row
+	for _, app := range apps(p) {
+		rows = append(rows, row{
+			name: app.Name,
+			fast: g.add(app.Mk, cores, "MEUSI"),
+			slow: g.add(app.Mk, cores, "MEUSI", coup.WithReductionALU(16, 16)),
+		})
+	}
+	g.run()
 	t := &stats.Table{
 		Title:   fmt.Sprintf("Sec 5.5: reduction-unit throughput sensitivity (%d cores, COUP)", cores),
 		Headers: []string{"app", "fast ALU (cycles)", "slow ALU (cycles)", "slowdown %"},
 	}
-	run := func(mk func() coup.Workload, slow bool) float64 {
-		opts := []coup.Option{coup.WithCores(cores), coup.WithProtocol("MEUSI"), coup.WithSeed(1)}
-		if slow {
-			opts = append(opts, coup.WithReductionALU(16, 16))
-		}
-		st, err := coup.RunWorkload(mk(), opts...)
-		if err != nil {
-			panic(err)
-		}
-		return float64(st.Cycles)
-	}
-	for _, app := range apps(p) {
-		fast := run(app.Mk, false)
-		slow := run(app.Mk, true)
-		t.AddRow(app.Name, stats.F(fast), stats.F(slow), stats.F((slow-fast)/fast*100))
+	for _, r := range rows {
+		t.AddRow(r.name, stats.F(r.fast.Cycles), stats.F(r.slow.Cycles), stats.F((r.slow.Cycles-r.fast.Cycles)/r.fast.Cycles*100))
 	}
 	t.AddNote("paper: max degradation 0.88%% (bfs at 128 cores)")
+	g.note(t)
 	return []*stats.Table{t}
 }
 
@@ -112,37 +117,62 @@ func sec55(p Params) []*stats.Table {
 // spmv 1.18x, pgrank 4.9x, bfs 1.20x, fluidanimate 1.18x).
 func trafficExp(p Params) []*stats.Table {
 	cores := p.MaxCores
+	g := newGrid(p)
+	type row struct {
+		name        string
+		mesi, meusi *point
+	}
+	var rows []row
+	for _, app := range apps(p) {
+		rows = append(rows, row{
+			name:  app.Name,
+			mesi:  g.add(app.Mk, cores, "MESI"),
+			meusi: g.add(app.Mk, cores, "MEUSI"),
+		})
+	}
+	g.run()
 	t := &stats.Table{
 		Title:   fmt.Sprintf("Sec 5.2: off-chip traffic at %d cores", cores),
 		Headers: []string{"app", "MESI bytes", "COUP bytes", "reduction x"},
 	}
-	for _, app := range apps(p) {
-		_, mesi := measure(app.Mk, cores, "MESI", p)
-		_, meusi := measure(app.Mk, cores, "MEUSI", p)
-		t.AddRow(app.Name, fmt.Sprint(mesi.Traffic.OffChipBytes), fmt.Sprint(meusi.Traffic.OffChipBytes),
-			stats.F(float64(mesi.Traffic.OffChipBytes)/float64(meusi.Traffic.OffChipBytes)))
+	for _, r := range rows {
+		mesi, meusi := r.mesi.Stats.Traffic.OffChipBytes, r.meusi.Stats.Traffic.OffChipBytes
+		t.AddRow(r.name, fmt.Sprint(mesi), fmt.Sprint(meusi),
+			stats.F(float64(mesi)/float64(meusi)))
 	}
+	g.note(t)
 	return []*stats.Table{t}
 }
 
 // table2 reproduces Table 2 plus the Sec 5.2 instruction-mix fractions.
 func table2(p Params) []*stats.Table {
-	t := &stats.Table{
-		Title:   "Table 2: benchmark characteristics (on synthetic substitute inputs)",
-		Headers: []string{"app", "comm ops", "seq run-time (Mcycles)", "comm-op fraction %"},
-	}
 	ops := map[string]string{
 		"hist": "32b int add", "spmv": "64b FP add", "pgrank": "64b int add",
 		"bfs": "64b OR", "fluidanimate": "32b FP add",
 	}
+	g := newGrid(p)
+	type row struct {
+		name string
+		pt   *point
+	}
+	var rows []row
 	for _, app := range apps(p) {
-		_, st := measure(app.Mk, 1, "MEUSI", p)
-		t.AddRow(app.Name, ops[app.Name],
+		rows = append(rows, row{name: app.Name, pt: g.add(app.Mk, 1, "MEUSI")})
+	}
+	g.run()
+	t := &stats.Table{
+		Title:   "Table 2: benchmark characteristics (on synthetic substitute inputs)",
+		Headers: []string{"app", "comm ops", "seq run-time (Mcycles)", "comm-op fraction %"},
+	}
+	for _, r := range rows {
+		st := r.pt.Stats
+		t.AddRow(r.name, ops[r.name],
 			stats.F(float64(st.Cycles)/1e6),
 			stats.F(st.CommFraction()*100))
 	}
 	t.AddNote("paper (full inputs): hist 2720 / spmv 94 / fluidanimate 5930 / pgrank 2850 / bfs 5764 Mcycles")
 	t.AddNote("paper comm fractions at 128 cores: hist 1.0%%, spmv 2.4%%, pgrank 4.9%%, bfs 0.40%%, fluidanimate 0.96%%")
+	g.note(t)
 	return []*stats.Table{t}
 }
 
@@ -150,25 +180,60 @@ func table2(p Params) []*stats.Table {
 // calls out: remote memory operations vs COUP, and flat vs hierarchical
 // reductions.
 func ablation(p Params) []*stats.Table {
+	updates := p.scaleInt(2000)
+	mk := workload("refcount", coup.WorkloadParams{Counters: 8, Size: updates, HighCount: true, Seed: 3})
+	var counterCores []int
+	for _, c := range []int{16, 64} {
+		if c <= p.MaxCores {
+			counterCores = append(counterCores, c)
+		}
+	}
+	hierCores := p.MaxCores
+	hierApps := []struct {
+		Name string
+		Mk   func() coup.Workload
+	}{
+		{"hist", histWorkload(p, 512, "hist")},
+		{"bfs", bfsWorkload(p)},
+	}
+
+	// Enumerate all three ablations into one grid, then fan out.
+	g := newGrid(p)
+	type counterRow struct{ mesi, rmo, meusi, musi *point }
+	counterRows := make([]counterRow, len(counterCores))
+	for i, c := range counterCores {
+		counterRows[i] = counterRow{
+			mesi:  g.add(mk, c, "MESI"),
+			rmo:   g.add(mk, c, "RMO"),
+			meusi: g.add(mk, c, "MEUSI"),
+			musi:  g.add(mk, c, "MUSI"),
+		}
+	}
+	type hierRow struct{ hier, flat *point }
+	hierRows := make([]hierRow, len(hierApps))
+	for i, app := range hierApps {
+		hierRows[i] = hierRow{
+			hier: g.add(app.Mk, hierCores, "MEUSI"),
+			flat: g.add(app.Mk, hierCores, "MEUSI", coup.WithFlatReductions(true)),
+		}
+	}
+	g.run()
+
 	var tables []*stats.Table
 
 	// Fig 1: a single contended counter under the three schemes.
-	updates := p.scaleInt(2000)
 	counter := &stats.Table{
 		Title:   "Fig 1 ablation: contended shared counter (cycles, lower is better)",
 		Headers: []string{"cores", "MESI (a)", "RMO (b)", "COUP (c)", "COUP vs MESI", "COUP vs RMO"},
 	}
-	mk := workload("refcount", coup.WorkloadParams{Counters: 8, Size: updates, HighCount: true, Seed: 3})
-	for _, c := range []int{16, 64} {
-		if c > p.MaxCores {
-			continue
-		}
-		mesi, _ := measure(mk, c, "MESI", p)
-		rmo, _ := measure(mk, c, "RMO", p)
-		meusi, _ := measure(mk, c, "MEUSI", p)
-		counter.AddRow(fmt.Sprint(c), stats.F(mesi), stats.F(rmo), stats.F(meusi),
-			stats.F(mesi/meusi), stats.F(rmo/meusi))
+	var counterPts []*point
+	for i, c := range counterCores {
+		r := counterRows[i]
+		counter.AddRow(fmt.Sprint(c), stats.F(r.mesi.Cycles), stats.F(r.rmo.Cycles), stats.F(r.meusi.Cycles),
+			stats.F(r.mesi.Cycles/r.meusi.Cycles), stats.F(r.rmo.Cycles/r.meusi.Cycles))
+		counterPts = append(counterPts, r.mesi, r.rmo, r.meusi)
 	}
+	g.note(counter, counterPts...)
 	tables = append(tables, counter)
 
 	// E-state ablation: MUSI (Fig 4) vs MEUSI (Fig 6) — what the
@@ -177,46 +242,28 @@ func ablation(p Params) []*stats.Table {
 		Title:   "Ablation: E-state optimization (MUSI vs MEUSI, cycles)",
 		Headers: []string{"cores", "MUSI", "MEUSI", "MEUSI gain %"},
 	}
-	for _, c := range []int{16, 64} {
-		if c > p.MaxCores {
-			continue
-		}
-		musi, _ := measure(mk, c, "MUSI", p)
-		meusi, _ := measure(mk, c, "MEUSI", p)
-		eTable.AddRow(fmt.Sprint(c), stats.F(musi), stats.F(meusi),
-			stats.F((musi-meusi)/musi*100))
+	var ePts []*point
+	for i, c := range counterCores {
+		r := counterRows[i]
+		eTable.AddRow(fmt.Sprint(c), stats.F(r.musi.Cycles), stats.F(r.meusi.Cycles),
+			stats.F((r.musi.Cycles-r.meusi.Cycles)/r.musi.Cycles*100))
+		ePts = append(ePts, r.musi, r.meusi)
 	}
+	g.note(eTable, ePts...)
 	tables = append(tables, eTable)
 
 	// Hierarchical vs flat reductions (Sec 3.2).
-	cores := p.MaxCores
 	hier := &stats.Table{
-		Title:   fmt.Sprintf("Ablation: hierarchical vs flat reductions (%d cores, COUP)", cores),
+		Title:   fmt.Sprintf("Ablation: hierarchical vs flat reductions (%d cores, COUP)", hierCores),
 		Headers: []string{"app", "hierarchical (cycles)", "flat (cycles)", "flat slowdown %"},
 	}
-	for _, app := range []struct {
-		Name string
-		Mk   func() coup.Workload
-	}{
-		{"hist", histWorkload(p, 512, "hist")},
-		{"bfs", bfsWorkload(p)},
-	} {
-		run := func(flat bool) float64 {
-			st, err := coup.RunWorkload(app.Mk(),
-				coup.WithCores(cores),
-				coup.WithProtocol("MEUSI"),
-				coup.WithSeed(1),
-				coup.WithFlatReductions(flat),
-			)
-			if err != nil {
-				panic(err)
-			}
-			return float64(st.Cycles)
-		}
-		h := run(false)
-		f := run(true)
-		hier.AddRow(app.Name, stats.F(h), stats.F(f), stats.F((f-h)/h*100))
+	var hierPts []*point
+	for i, app := range hierApps {
+		r := hierRows[i]
+		hier.AddRow(app.Name, stats.F(r.hier.Cycles), stats.F(r.flat.Cycles), stats.F((r.flat.Cycles-r.hier.Cycles)/r.hier.Cycles*100))
+		hierPts = append(hierPts, r.hier, r.flat)
 	}
+	g.note(hier, hierPts...)
 	tables = append(tables, hier)
 	return tables
 }

@@ -27,39 +27,68 @@ func fig2(p Params) []*stats.Table {
 		cores = p.MaxCores
 	}
 	bins := []int{32, 128, 512, 2048, 8192, 32768}
+	g := newGrid(p)
+	type row struct{ coup, atom, priv *point }
+	rows := make([]row, len(bins))
+	for i, b := range bins {
+		rows[i] = row{
+			coup: g.add(histWorkload(p, b, "hist"), cores, "MEUSI"),
+			atom: g.add(histWorkload(p, b, "hist"), cores, "MESI"),
+			priv: g.add(histWorkload(p, b, "hist-priv-core"), cores, "MESI"),
+		}
+	}
+	g.run()
 	t := &stats.Table{
 		Title:   fmt.Sprintf("Fig 2: hist relative performance vs bins (%d cores)", cores),
 		Headers: []string{"bins", "COUP", "MESI-atomics", "MESI-sw-privatization"},
 	}
-	var base float64
+	base := rows[0].coup.Cycles
 	for i, b := range bins {
-		coup, _ := measure(histWorkload(p, b, "hist"), cores, "MEUSI", p)
-		atom, _ := measure(histWorkload(p, b, "hist"), cores, "MESI", p)
-		priv, _ := measure(histWorkload(p, b, "hist-priv-core"), cores, "MESI", p)
-		if i == 0 {
-			base = coup
-		}
-		t.AddRow(fmt.Sprint(b), stats.F(base/coup), stats.F(base/atom), stats.F(base/priv))
+		r := rows[i]
+		t.AddRow(fmt.Sprint(b), stats.F(base/r.coup.Cycles), stats.F(base/r.atom.Cycles), stats.F(base/r.priv.Cycles))
 	}
 	t.AddNote("performance relative to COUP at 32 bins; higher is better (paper Fig 2)")
+	g.note(t)
 	return []*stats.Table{t}
 }
 
 // fig10 reproduces Fig 10: per-application speedups over the application's
 // single-core MESI run.
 func fig10(p Params) []*stats.Table {
-	var tables []*stats.Table
+	g := newGrid(p)
+	type cell struct{ mesi, coup *point }
+	type series struct {
+		name string
+		base *point
+		rows []cell
+	}
+	sweep := p.coreSweep()
+	var all []series
 	for _, app := range apps(p) {
+		s := series{name: app.Name, base: g.add(app.Mk, 1, "MESI")}
+		for _, c := range sweep {
+			s.rows = append(s.rows, cell{
+				mesi: g.add(app.Mk, c, "MESI"),
+				coup: g.add(app.Mk, c, "MEUSI"),
+			})
+		}
+		all = append(all, s)
+	}
+	g.run()
+	var tables []*stats.Table
+	for _, s := range all {
 		t := &stats.Table{
-			Title:   "Fig 10: " + app.Name + " speedup (vs 1-core MESI)",
+			Title:   "Fig 10: " + s.name + " speedup (vs 1-core MESI)",
 			Headers: []string{"cores", "MESI", "COUP", "COUP/MESI"},
 		}
-		base, _ := measure(app.Mk, 1, "MESI", p)
-		for _, c := range p.coreSweep() {
-			mesi, _ := measure(app.Mk, c, "MESI", p)
-			coup, _ := measure(app.Mk, c, "MEUSI", p)
-			t.AddRow(fmt.Sprint(c), stats.F(base/mesi), stats.F(base/coup), stats.F(mesi/coup))
+		base := s.base.Cycles
+		pts := []*point{s.base}
+		for i, c := range sweep {
+			r := s.rows[i]
+			t.AddRow(fmt.Sprint(c), stats.F(base/r.mesi.Cycles), stats.F(base/r.coup.Cycles), stats.F(r.mesi.Cycles/r.coup.Cycles))
+			pts = append(pts, r.mesi, r.coup)
 		}
+		g.note(t, pts...)
 		tables = append(tables, t)
 	}
 	return tables
@@ -68,30 +97,53 @@ func fig10(p Params) []*stats.Table {
 // fig11 reproduces Fig 11: the average memory access time decomposition,
 // normalized to COUP's AMAT at 8 cores (lower is better).
 func fig11(p Params) []*stats.Table {
-	var tables []*stats.Table
 	sizes := []int{8, 32, 128}
+	protos := []string{"MEUSI", "MESI"}
+	g := newGrid(p)
+	type row struct {
+		cores int
+		proto string
+		pt    *point
+	}
+	type series struct {
+		name string
+		rows []row
+	}
+	var all []series
 	for _, app := range apps(p) {
-		t := &stats.Table{
-			Title:   "Fig 11: " + app.Name + " AMAT breakdown (normalized to COUP @ 8 cores)",
-			Headers: []string{"cores", "proto", "total", "L2", "L3", "net", "L4inval", "L4", "mem"},
-		}
-		var norm float64
+		s := series{name: app.Name}
 		for _, c := range sizes {
 			if c > p.MaxCores {
 				continue
 			}
-			for _, proto := range []string{"MEUSI", "MESI"} {
-				_, st := measure(app.Mk, c, proto, p)
-				b := st.Breakdown
-				if norm == 0 {
-					norm = st.AMAT // first row: COUP at the smallest size
-				}
-				t.AddRow(fmt.Sprint(c), protoName(proto),
-					stats.F(st.AMAT/norm),
-					stats.F(b.L2/norm), stats.F(b.L3/norm), stats.F(b.OffChipNet/norm),
-					stats.F(b.L4Inval/norm), stats.F(b.L4/norm), stats.F(b.MainMem/norm))
+			for _, proto := range protos {
+				s.rows = append(s.rows, row{cores: c, proto: proto, pt: g.add(app.Mk, c, proto)})
 			}
 		}
+		all = append(all, s)
+	}
+	g.run()
+	var tables []*stats.Table
+	for _, s := range all {
+		t := &stats.Table{
+			Title:   "Fig 11: " + s.name + " AMAT breakdown (normalized to COUP @ 8 cores)",
+			Headers: []string{"cores", "proto", "total", "L2", "L3", "net", "L4inval", "L4", "mem"},
+		}
+		var norm float64
+		var pts []*point
+		for _, r := range s.rows {
+			st := r.pt.Stats
+			b := st.Breakdown
+			if norm == 0 {
+				norm = st.AMAT // first row: COUP at the smallest size
+			}
+			t.AddRow(fmt.Sprint(r.cores), protoName(r.proto),
+				stats.F(st.AMAT/norm),
+				stats.F(b.L2/norm), stats.F(b.L3/norm), stats.F(b.OffChipNet/norm),
+				stats.F(b.L4Inval/norm), stats.F(b.L4/norm), stats.F(b.MainMem/norm))
+			pts = append(pts, r.pt)
+		}
+		g.note(t, pts...)
 		tables = append(tables, t)
 	}
 	return tables
@@ -107,19 +159,42 @@ func protoName(pr string) string {
 // fig12 reproduces Fig 12: hist as an explicit reduction variable, COUP vs
 // core-level and socket-level privatization, at 512 and 16K bins.
 func fig12(p Params) []*stats.Table {
+	binSet := []int{512, 16384}
+	sweep := p.coreSweep()
+	g := newGrid(p)
+	type cell struct{ coup, core, sock *point }
+	type series struct {
+		bins int
+		base *point
+		rows []cell
+	}
+	var all []series
+	for _, bins := range binSet {
+		s := series{bins: bins, base: g.add(histWorkload(p, bins, "hist"), 1, "MEUSI")}
+		for _, c := range sweep {
+			s.rows = append(s.rows, cell{
+				coup: g.add(histWorkload(p, bins, "hist"), c, "MEUSI"),
+				core: g.add(histWorkload(p, bins, "hist-priv-core"), c, "MESI"),
+				sock: g.add(histWorkload(p, bins, "hist-priv-socket"), c, "MESI"),
+			})
+		}
+		all = append(all, s)
+	}
+	g.run()
 	var tables []*stats.Table
-	for _, bins := range []int{512, 16384} {
+	for _, s := range all {
 		t := &stats.Table{
-			Title:   fmt.Sprintf("Fig 12: hist privatization comparison, %d bins (speedup vs 1-core COUP)", bins),
+			Title:   fmt.Sprintf("Fig 12: hist privatization comparison, %d bins (speedup vs 1-core COUP)", s.bins),
 			Headers: []string{"cores", "COUP", "core-priv", "socket-priv"},
 		}
-		base, _ := measure(histWorkload(p, bins, "hist"), 1, "MEUSI", p)
-		for _, c := range p.coreSweep() {
-			coup, _ := measure(histWorkload(p, bins, "hist"), c, "MEUSI", p)
-			core, _ := measure(histWorkload(p, bins, "hist-priv-core"), c, "MESI", p)
-			sock, _ := measure(histWorkload(p, bins, "hist-priv-socket"), c, "MESI", p)
-			t.AddRow(fmt.Sprint(c), stats.F(base/coup), stats.F(base/core), stats.F(base/sock))
+		base := s.base.Cycles
+		pts := []*point{s.base}
+		for i, c := range sweep {
+			r := s.rows[i]
+			t.AddRow(fmt.Sprint(c), stats.F(base/r.coup.Cycles), stats.F(base/r.core.Cycles), stats.F(base/r.sock.Cycles))
+			pts = append(pts, r.coup, r.core, r.sock)
 		}
+		g.note(t, pts...)
 		tables = append(tables, t)
 	}
 	return tables
@@ -135,21 +210,32 @@ func refcountImmediate(p Params, high bool, title string) []*stats.Table {
 	wp := coup.WorkloadParams{Counters: counters, Size: updates, HighCount: high, Seed: 21}
 	mk := workload("refcount", wp)
 	mkSnzi := workload("refcount-snzi", wp)
+	sweep := p.coreSweep()
+	g := newGrid(p)
+	type cell struct{ xadd, coup, snzi *point }
+	base := g.add(mk, 1, "MESI")
+	rows := make([]cell, len(sweep))
+	for i, c := range sweep {
+		rows[i] = cell{
+			xadd: g.add(mk, c, "MESI"),
+			coup: g.add(mk, c, "MEUSI"),
+			snzi: g.add(mkSnzi, c, "MESI"),
+		}
+	}
+	g.run()
 	t := &stats.Table{
 		Title:   title,
 		Headers: []string{"cores", "XADD", "COUP", "SNZI"},
 	}
-	base, _ := measure(mk, 1, "MESI", p)
 	// Each thread performs a fixed number of updates, so the figure's
 	// speedup is aggregate throughput relative to one XADD thread.
-	for _, c := range p.coreSweep() {
+	for i, c := range sweep {
 		fc := float64(c)
-		xadd, _ := measure(mk, c, "MESI", p)
-		coup, _ := measure(mk, c, "MEUSI", p)
-		snzi, _ := measure(mkSnzi, c, "MESI", p)
-		t.AddRow(fmt.Sprint(c), stats.F(fc*base/xadd), stats.F(fc*base/coup), stats.F(fc*base/snzi))
+		r := rows[i]
+		t.AddRow(fmt.Sprint(c), stats.F(fc*base.Cycles/r.xadd.Cycles), stats.F(fc*base.Cycles/r.coup.Cycles), stats.F(fc*base.Cycles/r.snzi.Cycles))
 	}
 	t.AddNote("throughput speedup vs 1-core XADD; %d counters, %d updates/thread", counters, updates)
+	g.note(t)
 	return []*stats.Table{t}
 }
 
@@ -170,18 +256,31 @@ func fig13c(p Params) []*stats.Table {
 	}
 	counters := p.scaleInt(8192)
 	epochs := 2
+	g := newGrid(p)
+	type row struct {
+		upe          int
+		coup, refcch *point
+	}
+	var rows []row
+	for _, upe := range []int{10, 50, 100, 300, 1000} {
+		upe := p.scaleInt(upe)
+		wp := coup.WorkloadParams{Counters: counters, Iters: epochs, UpdatesPerEpoch: upe, Seed: 27}
+		rows = append(rows, row{
+			upe:    upe,
+			coup:   g.add(workload("refcount-delayed", wp), cores, "MEUSI"),
+			refcch: g.add(workload("refcount-refcache", wp), cores, "MESI"),
+		})
+	}
+	g.run()
 	t := &stats.Table{
 		Title:   fmt.Sprintf("Fig 13c: refcount delayed dealloc (%d threads, %d counters)", cores, counters),
 		Headers: []string{"updates/epoch", "COUP", "Refcache", "COUP/Refcache"},
 	}
-	for _, upe := range []int{10, 50, 100, 300, 1000} {
-		upe := p.scaleInt(upe)
-		wp := coup.WorkloadParams{Counters: counters, Iters: epochs, UpdatesPerEpoch: upe, Seed: 27}
-		cycCoup, _ := measure(workload("refcount-delayed", wp), cores, "MEUSI", p)
-		rc, _ := measure(workload("refcount-refcache", wp), cores, "MESI", p)
-		work := float64(upe * epochs * cores)
-		t.AddRow(fmt.Sprint(upe), stats.F(work/cycCoup*1000), stats.F(work/rc*1000), stats.F(rc/cycCoup))
+	for _, r := range rows {
+		work := float64(r.upe * epochs * cores)
+		t.AddRow(fmt.Sprint(r.upe), stats.F(work/r.coup.Cycles*1000), stats.F(work/r.refcch.Cycles*1000), stats.F(r.refcch.Cycles/r.coup.Cycles))
 	}
 	t.AddNote("performance in updates per kilocycle (higher is better); paper reports COUP up to 2.3x over Refcache")
+	g.note(t)
 	return []*stats.Table{t}
 }

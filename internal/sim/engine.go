@@ -3,6 +3,7 @@ package sim
 import (
 	"container/heap"
 	"fmt"
+	"math/bits"
 
 	"repro/internal/ops"
 )
@@ -260,10 +261,14 @@ func (r *rng) next() uint64 {
 	return z ^ (z >> 31)
 }
 
-// intn returns a uniform value in [0, n).
+// intn returns a uniform value in [0, n) via Lemire's multiply-shift
+// reduction: the high 64 bits of next()*n. Unlike next()%n, which favors
+// small residues for non-power-of-two n, the multiply spreads the 2^64
+// input values across buckets that differ in size by at most one.
 func (r *rng) intn(n uint64) uint64 {
 	if n == 0 {
 		return 0
 	}
-	return r.next() % n
+	hi, _ := bits.Mul64(r.next(), n)
+	return hi
 }

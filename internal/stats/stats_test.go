@@ -40,6 +40,36 @@ func TestCI95(t *testing.T) {
 	}
 }
 
+// TestCI95CriticalValues pins the Student-t critical value CI95 applies at
+// each sample count: exact table values through df = 30, the asymptotic
+// correction beyond. The df 11–30 band is the regression target — the
+// old table fell back to 1.96 there, understating the interval by up to ~11%.
+func TestCI95CriticalValues(t *testing.T) {
+	cases := []struct {
+		n int     // sample count (df = n-1)
+		t float64 // two-sided 95% critical value
+	}{
+		{2, 12.706}, {3, 4.303}, {4, 3.182}, {6, 2.571},
+		{11, 2.228},
+		{12, 2.201}, {13, 2.179}, {16, 2.131}, {21, 2.086},
+		{26, 2.060}, {31, 2.042},
+		// Beyond the table: 1.96 + 2.42/df, within 0.1% of the exact
+		// values (df 40: 2.021, df 60: 2.000, df 120: 1.980).
+		{41, 1.96 + 2.42/40}, {61, 1.96 + 2.42/60}, {121, 1.96 + 2.42/120},
+	}
+	for _, tc := range cases {
+		// Alternating ±1 around 10 gives a known nonzero spread at any n.
+		xs := make([]float64, tc.n)
+		for i := range xs {
+			xs[i] = 10 + float64(1-2*(i%2))
+		}
+		want := tc.t * Stddev(xs) / math.Sqrt(float64(tc.n))
+		if got := CI95(xs); math.Abs(got-want) > 1e-12 {
+			t.Errorf("CI95 with n=%d (df %d): got %v, want %v (t=%v)", tc.n, tc.n-1, got, want, tc.t)
+		}
+	}
+}
+
 func TestCIMonotoneProperty(t *testing.T) {
 	f := func(a, b uint16) bool {
 		x, y := float64(a), float64(b)

@@ -34,6 +34,15 @@
 //   - Stats: one run's measurements — cycles, the Fig 11 AMAT breakdown,
 //     protocol events (reductions, invalidations, U grants) and the
 //     Sec 5.2 traffic split. The type is stable and JSON-serializable.
+//     MeanStats aggregates repeated seeded runs of one configuration.
+//
+//   - Sweep: the parallel experiment engine. An evaluation grid —
+//     workloads × protocols × core counts × seeded reps — is a list of
+//     independent simulations; Sweep executes a []RunSpec across a bounded
+//     worker pool (WithParallelism, default GOMAXPROCS) and returns one
+//     SweepResult per spec, in input order, with per-spec errors. Every
+//     machine is isolated and every seed lives in its spec, so results are
+//     identical at any parallelism; only wall-clock time changes.
 //
 // # Quickstart
 //
@@ -65,6 +74,22 @@
 //		}
 //	})
 //	fmt.Println(st.Cycles, m.ReadWord64(ctr))
+//
+// Fan a grid of independent runs out over all CPUs (results in input
+// order, per-spec errors):
+//
+//	var specs []coup.RunSpec
+//	for _, cores := range []int{1, 16, 32, 64, 96, 128} {
+//		for seed := uint64(1); seed <= 5; seed++ {
+//			specs = append(specs, coup.RunSpec{
+//				Workload: "hist",
+//				Options: []coup.Option{
+//					coup.WithCores(cores), coup.WithProtocol("MEUSI"), coup.WithSeed(seed),
+//				},
+//			})
+//		}
+//	}
+//	results, err := coup.Sweep(specs) // or coup.WithParallelism(n)
 //
 // All lookups by name (protocols, workloads) are case-insensitive, and
 // unknown names return typed errors (ErrUnknownProtocol,

@@ -3,8 +3,11 @@ package coup
 import (
 	"encoding/json"
 	"fmt"
+	"math"
+	"reflect"
 
 	"repro/internal/sim"
+	"repro/internal/stats"
 )
 
 // AMATBreakdown is the Fig 11 decomposition of average memory access time,
@@ -117,6 +120,68 @@ func statsFrom(st sim.Stats, cfg sim.Config, workload string) Stats {
 			MemBytes:     st.MemBytes,
 		},
 	}
+}
+
+// MeanStats aggregates repeated seeded runs of the same configuration into
+// one Stats whose numeric fields are per-field means (integer counters
+// rounded to nearest). Identity fields (Protocol, Workload, Cores) are
+// taken from the first run. It is the aggregation the experiment harness
+// applies across a data point's reps; with a single run it is the
+// identity.
+func MeanStats(runs ...Stats) Stats {
+	if len(runs) == 0 {
+		return Stats{}
+	}
+	out := runs[0]
+	if len(runs) == 1 {
+		return out
+	}
+	srcs := make([]reflect.Value, len(runs))
+	for i := range runs {
+		srcs[i] = reflect.ValueOf(&runs[i]).Elem()
+	}
+	meanFields(reflect.ValueOf(&out).Elem(), srcs)
+	return out
+}
+
+// meanFields recursively averages uint64 and float64 fields of dst across
+// srcs, leaving every other kind (strings, ints) at dst's current — first
+// run's — value.
+func meanFields(dst reflect.Value, srcs []reflect.Value) {
+	switch dst.Kind() {
+	case reflect.Struct:
+		for i := 0; i < dst.NumField(); i++ {
+			subs := make([]reflect.Value, len(srcs))
+			for j, s := range srcs {
+				subs[j] = s.Field(i)
+			}
+			meanFields(dst.Field(i), subs)
+		}
+	case reflect.Uint64:
+		var sum float64
+		for _, s := range srcs {
+			sum += float64(s.Uint())
+		}
+		dst.SetUint(uint64(math.Round(sum / float64(len(srcs)))))
+	case reflect.Float64:
+		var sum float64
+		for _, s := range srcs {
+			sum += s.Float()
+		}
+		dst.SetFloat(sum / float64(len(srcs)))
+	}
+}
+
+// CyclesCI95 returns the half-width of the 95% confidence interval of the
+// mean cycle count across repeated seeded runs (Student-t; 0 for fewer
+// than two runs). Pair it with MeanStats to report a data point as
+// mean ± CI, following Alameldeen & Wood's simulation methodology.
+func CyclesCI95(runs ...Stats) float64 {
+	cycles := make([]float64, len(runs))
+	for i, st := range runs {
+		cycles[i] = float64(st.Cycles)
+	}
+	return stats.CI95(cycles)
 }
 
 // CommFraction returns commutative updates as a fraction of all modelled

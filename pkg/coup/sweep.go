@@ -1,0 +1,126 @@
+package coup
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// RunSpec describes one simulation in a Sweep: which workload to run and
+// how to configure the machine. Exactly one of Workload and Make must be
+// set. Everything that shapes the run — cores, protocol, seed, workload
+// parameters — lives in the spec itself, so a sweep's results depend only
+// on its spec list, never on how the runs are scheduled across workers.
+type RunSpec struct {
+	// Workload names a registered workload, built with the parameters from
+	// Options (WithWorkloadParams), exactly as Run would.
+	Workload string
+	// Make builds the workload instance directly, bypassing the registry.
+	// Workloads are single-run; Make is called once, inside the worker
+	// executing the spec.
+	Make func() (Workload, error)
+	// Options configure the machine, as in Run/RunWorkload.
+	Options []Option
+}
+
+// SweepResult pairs one spec's stats with its error. As with Run, Stats
+// may hold partial results even when Err is non-nil (e.g. a validation
+// failure after a completed simulation).
+type SweepResult struct {
+	Stats Stats
+	Err   error
+}
+
+// sweepConfig carries sweep-level knobs.
+type sweepConfig struct {
+	parallelism int
+}
+
+// SweepOption configures a Sweep (not the machines inside it).
+type SweepOption func(*sweepConfig) error
+
+// WithParallelism bounds the sweep's worker pool at n concurrent
+// simulations (n >= 1). The default is runtime.GOMAXPROCS(0); 1 yields a
+// fully serial sweep. Parallelism never changes results, only wall-clock
+// time.
+func WithParallelism(n int) SweepOption {
+	return func(c *sweepConfig) error {
+		if n < 1 {
+			return fmt.Errorf("coup: %w: parallelism must be >= 1, got %d", ErrInvalidOption, n)
+		}
+		c.parallelism = n
+		return nil
+	}
+}
+
+// Sweep executes every spec on its own isolated machine, fanning the runs
+// out across a bounded worker pool, and returns one result per spec in
+// input order. Failures — bad specs, option errors, validation failures,
+// even panics out of a workload factory or kernel — are captured as that
+// spec's Err; one broken run never takes down the sweep. The returned
+// error reports only sweep-level misuse (bad SweepOptions).
+func Sweep(specs []RunSpec, opts ...SweepOption) ([]SweepResult, error) {
+	cfg := sweepConfig{parallelism: runtime.GOMAXPROCS(0)}
+	for _, opt := range opts {
+		if opt == nil {
+			continue
+		}
+		if err := opt(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	out := make([]SweepResult, len(specs))
+	workers := cfg.parallelism
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+	if workers <= 1 {
+		for i := range specs {
+			out[i] = runSpec(specs[i])
+		}
+		return out, nil
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				out[i] = runSpec(specs[i])
+			}
+		}()
+	}
+	for i := range specs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return out, nil
+}
+
+// runSpec executes one spec, converting panics (workload factories and
+// kernels are allowed to panic on setup bugs) into errors.
+func runSpec(s RunSpec) (res SweepResult) {
+	defer func() {
+		if r := recover(); r != nil {
+			res.Err = fmt.Errorf("coup: sweep run panicked: %v", r)
+		}
+	}()
+	switch {
+	case s.Workload != "" && s.Make != nil:
+		res.Err = fmt.Errorf("coup: %w: RunSpec sets both Workload and Make", ErrInvalidOption)
+	case s.Make != nil:
+		w, err := s.Make()
+		if err != nil {
+			res.Err = fmt.Errorf("coup: sweep workload factory: %w", err)
+			return
+		}
+		res.Stats, res.Err = RunWorkload(w, s.Options...)
+	case s.Workload != "":
+		res.Stats, res.Err = Run(s.Workload, s.Options...)
+	default:
+		res.Err = fmt.Errorf("coup: %w: RunSpec needs Workload or Make", ErrInvalidOption)
+	}
+	return
+}
