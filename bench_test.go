@@ -19,14 +19,6 @@ import (
 	"repro/pkg/coup"
 )
 
-// benchParams shrinks every experiment to benchmark scale.
-func benchParams() exp.Params {
-	p := exp.DefaultParams()
-	p.Scale = 0.05
-	p.MaxCores = 32
-	return p
-}
-
 func runExp(b *testing.B, id string) {
 	if testing.Short() {
 		b.Skipf("skipping figure regeneration %s in -short mode", id)
@@ -35,7 +27,7 @@ func runExp(b *testing.B, id string) {
 	if !ok {
 		b.Fatalf("unknown experiment %q", id)
 	}
-	p := benchParams()
+	p := exp.BenchParams()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tables := e.Run(p)

@@ -1,0 +1,202 @@
+// Command commutebench measures the pkg/commute software Coup runtime on
+// the real machine: it sweeps thread counts over the paper's contended
+// workload shapes (counter, hist) with Zipf-skewed traffic, comparing the
+// sharded structures against shared-atomic and mutex baselines, and
+// reports mean ± CI95 over seeded repetitions — the same reporting shape
+// the simulator harness (coup.Sweep / coupsim -reps) uses, so the two
+// sides of the "figsw" cross-validation read alike.
+//
+// Usage:
+//
+//	commutebench                          # both kinds, all impls, 1..8 threads
+//	commutebench -kind counter -cells 1   # the Fig 1 maximally-contended counter
+//	commutebench -kind hist -bins 512 -zipf 1.2
+//	commutebench -threads 1,4,16 -reps 5 -json
+//	commutebench -reads 64                # fold a reduce-on-read in every 64 updates
+//
+// ns/op measures wall-clock per update issued; speedup columns are
+// relative to the atomic baseline at the same thread count.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+
+	"repro/internal/stats"
+	"repro/internal/swbench"
+)
+
+// point is one JSON-emitted data point: the per-rep mean and CI95, plus
+// the configuration that produced it.
+type point struct {
+	Kind        string  `json:"kind"`
+	Impl        string  `json:"impl"`
+	Threads     int     `json:"threads"`
+	Reps        int     `json:"reps"`
+	MeanNsPerOp float64 `json:"mean_ns_per_op"`
+	CI95NsPerOp float64 `json:"ci95_ns_per_op"`
+	MOpsPerSec  float64 `json:"mops_per_sec"`
+}
+
+func main() {
+	var (
+		kindF    = flag.String("kind", "all", "workload shape: counter, hist, or all")
+		implF    = flag.String("impl", "all", "comma-separated impls: commute, atomic, mutex (or all)")
+		threadsF = flag.String("threads", "", "comma-separated goroutine counts (default 1,2,4,...,max(8,GOMAXPROCS))")
+		ops      = flag.Int("ops", 200_000, "updates per goroutine")
+		cells    = flag.Int("cells", 1, "distinct counters (counter kind; 1 = maximally contended)")
+		bins     = flag.Int("bins", 512, "histogram buckets (hist kind)")
+		zipf     = flag.Float64("zipf", 1.07, "Zipf skew s (> 1; <= 1 selects targets uniformly)")
+		reads    = flag.Int("reads", 0, "fold a reduce-on-read into every N updates (0 = update-only)")
+		reps     = flag.Int("reps", 3, "seeded repetitions per data point (mean ± CI95)")
+		seed     = flag.Uint64("seed", 1, "base seed (rep r runs with seed+r)")
+		asJSON   = flag.Bool("json", false, "emit data points as JSON")
+	)
+	flag.Parse()
+
+	kinds, err := parseKinds(*kindF)
+	if err == nil {
+		var impls []swbench.Impl
+		impls, err = parseImpls(*implF)
+		if err == nil {
+			var threads []int
+			threads, err = parseThreads(*threadsF)
+			if err == nil {
+				run(kinds, impls, threads, *ops, *cells, *bins, *zipf, *reads, *reps, *seed, *asJSON)
+				return
+			}
+		}
+	}
+	fmt.Fprintf(os.Stderr, "commutebench: %v\n", err)
+	os.Exit(2)
+}
+
+func run(kinds []swbench.Kind, impls []swbench.Impl, threads []int,
+	ops, cells, bins int, zipf float64, reads, reps int, seed uint64, asJSON bool) {
+	var points []point
+	for _, kind := range kinds {
+		t := &stats.Table{
+			Title: fmt.Sprintf("%s: %d ops/thread, cells=%d bins=%d zipf=%.2f reads=%d, GOMAXPROCS=%d",
+				kind, ops, cells, bins, zipf, reads, runtime.GOMAXPROCS(0)),
+			Headers: []string{"threads"},
+		}
+		for _, impl := range impls {
+			t.Headers = append(t.Headers, string(impl)+" ns/op")
+		}
+		if hasImpl(impls, swbench.ImplCommute) && hasImpl(impls, swbench.ImplAtomic) {
+			t.Headers = append(t.Headers, "commute/atomic")
+		}
+		var worstCI float64
+		for _, th := range threads {
+			row := []string{fmt.Sprint(th)}
+			means := map[swbench.Impl]float64{}
+			for _, impl := range impls {
+				c := swbench.Config{
+					Kind: kind, Impl: impl, Threads: th, Ops: ops,
+					Cells: cells, Bins: bins, ZipfS: zipf, ReadEvery: reads, Seed: seed,
+				}
+				results, mean, ci, err := swbench.Measure(c, reps)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "commutebench: %v\n", err)
+					os.Exit(1)
+				}
+				means[impl] = mean
+				if mean > 0 && ci/mean > worstCI {
+					worstCI = ci / mean
+				}
+				row = append(row, stats.F(mean))
+				var mops float64
+				for _, r := range results {
+					mops += r.MOpsPerSec
+				}
+				points = append(points, point{
+					Kind: string(kind), Impl: string(impl), Threads: th, Reps: reps,
+					MeanNsPerOp: mean, CI95NsPerOp: ci, MOpsPerSec: mops / float64(len(results)),
+				})
+			}
+			if a, ok := means[swbench.ImplAtomic]; ok {
+				if c, ok2 := means[swbench.ImplCommute]; ok2 && c > 0 {
+					row = append(row, stats.F(a/c)+"x")
+				}
+			}
+			t.AddRow(row...)
+		}
+		if reps > 1 {
+			t.AddNote("each cell is the mean of %d seeded reps; worst-case ±CI95 is %.1f%% of the mean", reps, worstCI*100)
+		}
+		if !asJSON {
+			fmt.Println(t.String())
+		}
+	}
+	if asJSON {
+		blob, err := json.MarshalIndent(points, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "commutebench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s\n", blob)
+	}
+}
+
+func hasImpl(impls []swbench.Impl, want swbench.Impl) bool {
+	for _, i := range impls {
+		if i == want {
+			return true
+		}
+	}
+	return false
+}
+
+func parseKinds(s string) ([]swbench.Kind, error) {
+	if strings.EqualFold(s, "all") {
+		return swbench.Kinds(), nil
+	}
+	var out []swbench.Kind
+	for _, part := range strings.Split(s, ",") {
+		k := swbench.Kind(strings.ToLower(strings.TrimSpace(part)))
+		switch k {
+		case swbench.KindCounter, swbench.KindHist:
+			out = append(out, k)
+		default:
+			return nil, fmt.Errorf("unknown kind %q (have: counter, hist, all)", part)
+		}
+	}
+	return out, nil
+}
+
+func parseImpls(s string) ([]swbench.Impl, error) {
+	if strings.EqualFold(s, "all") {
+		return swbench.Impls(), nil
+	}
+	var out []swbench.Impl
+	for _, part := range strings.Split(s, ",") {
+		i := swbench.Impl(strings.ToLower(strings.TrimSpace(part)))
+		switch i {
+		case swbench.ImplCommute, swbench.ImplAtomic, swbench.ImplMutex:
+			out = append(out, i)
+		default:
+			return nil, fmt.Errorf("unknown impl %q (have: commute, atomic, mutex, all)", part)
+		}
+	}
+	return out, nil
+}
+
+func parseThreads(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return swbench.DefaultThreads(0), nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad thread count %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}

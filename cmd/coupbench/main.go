@@ -6,8 +6,9 @@
 //
 //	coupbench -exp fig10              # one experiment at full scale
 //	coupbench -exp all -scale 0.2     # everything, scaled down 5x
+//	coupbench -exp all -quick         # everything at benchmark scale (exp.BenchParams)
 //	coupbench -exp all -parallel 8    # fan independent simulations out over 8 workers
-//	coupbench -list                   # enumerate experiment ids
+//	coupbench -list                   # enumerate experiment ids and descriptions
 //	coupbench -exp fig2 -csv results  # also write CSV files
 //
 // Each experiment enumerates its full data-point grid and evaluates it
@@ -31,9 +32,10 @@ import (
 func main() {
 	var (
 		expID    = flag.String("exp", "", "experiment id (or 'all')")
-		scale    = flag.Float64("scale", 1.0, "input scale factor (1.0 = full)")
+		quick    = flag.Bool("quick", false, "start from benchmark-scale parameters (exp.BenchParams: scale 0.05, 32-core cap) instead of the full run; explicit -scale/-maxcores still win")
+		scale    = flag.Float64("scale", 0, "input scale factor (1.0 = full; 0 = default for the chosen mode)")
 		reps     = flag.Int("reps", 1, "seeded repetitions per data point")
-		cores    = flag.Int("maxcores", 128, "cap on simulated core counts")
+		cores    = flag.Int("maxcores", 0, "cap on simulated core counts (0 = default for the chosen mode)")
 		parallel = flag.Int("parallel", 0, "concurrent simulations per experiment (0 = GOMAXPROCS); never changes results")
 		csvDir   = flag.String("csv", "", "directory to write CSV outputs into")
 		list     = flag.Bool("list", false, "list experiment ids and exit")
@@ -46,8 +48,8 @@ func main() {
 
 	if *list || *expID == "" {
 		fmt.Println("experiments:")
-		for _, e := range exp.All() {
-			fmt.Printf("  %-10s %s\n", e.ID, e.Desc)
+		for _, line := range exp.Listing() {
+			fmt.Printf("  %s\n", line)
 		}
 		if !*list {
 			os.Exit(2)
@@ -56,9 +58,16 @@ func main() {
 	}
 
 	p := exp.DefaultParams()
-	p.Scale = *scale
+	if *quick {
+		p = exp.BenchParams()
+	}
+	if *scale > 0 {
+		p.Scale = *scale
+	}
+	if *cores > 0 {
+		p.MaxCores = *cores
+	}
 	p.Reps = *reps
-	p.MaxCores = *cores
 	p.Parallel = *parallel
 
 	var toRun []exp.Experiment
@@ -68,8 +77,8 @@ func main() {
 		for _, id := range strings.Split(*expID, ",") {
 			e, ok := exp.ByID(id)
 			if !ok {
-				fmt.Fprintf(os.Stderr, "coupbench: unknown experiment %q (have: %s)\n",
-					id, strings.Join(exp.Names(), ", "))
+				fmt.Fprintf(os.Stderr, "coupbench: unknown experiment %q; have:\n  %s\n",
+					id, strings.Join(exp.Listing(), "\n  "))
 				os.Exit(2)
 			}
 			toRun = append(toRun, e)

@@ -54,8 +54,8 @@ func main() {
 	if *expID != "" {
 		e, ok := exp.ByID(*expID)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "coupverify: unknown experiment %q (have: %s)\n",
-				*expID, strings.Join(exp.Names(), ", "))
+			fmt.Fprintf(os.Stderr, "coupverify: unknown experiment %q; have:\n  %s\n",
+				*expID, strings.Join(exp.Listing(), "\n  "))
 			os.Exit(2)
 		}
 		for _, t := range e.Run(exp.DefaultParams()) {

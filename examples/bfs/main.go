@@ -4,23 +4,36 @@
 // pattern where software privatization is impractical but COUP still helps.
 //
 //	go run ./examples/bfs
+//	go run ./examples/bfs -scale 0.02   # tiny graph (CI smoke tests)
 package main
 
 import (
+	"flag"
 	"fmt"
 
 	"repro/pkg/coup"
 )
 
 func main() {
+	scale := flag.Float64("scale", 1.0, "shrink the graph for quick runs (1.0 = full)")
+	flag.Parse()
 	const cores = 64
-	fmt.Printf("parallel BFS over an R-MAT graph (2^13 vertices), %d cores\n\n", cores)
+	// Graph size is exponential in the R-MAT scale parameter; shrink in
+	// the same steps the experiment harness uses.
+	graphScale := 13
+	if *scale < 0.5 {
+		graphScale = 11
+	}
+	if *scale < 0.1 {
+		graphScale = 9
+	}
+	fmt.Printf("parallel BFS over an R-MAT graph (2^%d vertices), %d cores\n\n", graphScale, cores)
 
 	for _, p := range []string{"MESI", "MEUSI"} {
 		st, err := coup.Run("bfs",
 			coup.WithCores(cores),
 			coup.WithProtocol(p),
-			coup.WithWorkloadParams(coup.WorkloadParams{Scale: 13, EdgeFactor: 10, Seed: 13}),
+			coup.WithWorkloadParams(coup.WorkloadParams{Scale: graphScale, EdgeFactor: 10, Seed: 13}),
 		)
 		if err != nil {
 			panic(err)

@@ -5,19 +5,24 @@
 // protocols are selected by pkg/coup registry name.
 //
 //	go run ./examples/histogram
+//	go run ./examples/histogram -scale 0.02   # tiny run (CI smoke tests)
 package main
 
 import (
+	"flag"
 	"fmt"
 
 	"repro/pkg/coup"
 )
 
 func main() {
-	const (
-		cores  = 64
-		pixels = 100_000
-	)
+	scale := flag.Float64("scale", 1.0, "shrink the workload for quick runs (1.0 = full)")
+	flag.Parse()
+	const cores = 64
+	pixels := int(100_000 * *scale)
+	if pixels < 1000 {
+		pixels = 1000
+	}
 	fmt.Printf("parallel histogram, %d input values, %d cores\n\n", pixels, cores)
 	fmt.Printf("%8s  %14s  %14s  %14s\n", "bins", "COUP", "atomics", "privatization")
 

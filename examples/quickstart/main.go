@@ -5,20 +5,27 @@
 // are selected by registry name.
 //
 //	go run ./examples/quickstart
+//	go run ./examples/quickstart -scale 0.05   # tiny run (CI smoke tests)
 package main
 
 import (
+	"flag"
 	"fmt"
 
 	"repro/pkg/coup"
 )
 
 func main() {
+	scale := flag.Float64("scale", 1.0, "shrink the workload for quick runs (1.0 = full)")
+	flag.Parse()
 	const (
 		cores    = 64
-		perCore  = 1000
 		protoFmt = "%-6s  %10d cycles  %8.1f cycles/update  %9d off-chip bytes\n"
 	)
+	perCore := int(1000 * *scale)
+	if perCore < 1 {
+		perCore = 1
+	}
 	fmt.Printf("Fig 1: %d cores each perform %d commutative adds to one counter\n\n", cores, perCore)
 
 	for _, p := range []string{"MESI", "RMO", "MEUSI"} {
@@ -37,11 +44,11 @@ func main() {
 				c.Work(20)
 			}
 		})
-		if got := m.ReadWord64(counter); got != cores*perCore {
+		if got := m.ReadWord64(counter); got != uint64(cores*perCore) {
 			panic(fmt.Sprintf("%v: counter = %d, want %d", p, got, cores*perCore))
 		}
 		fmt.Printf(protoFmt, p, st.Cycles,
-			float64(st.Cycles)/perCore, st.Traffic.OffChipBytes)
+			float64(st.Cycles)/float64(perCore), st.Traffic.OffChipBytes)
 	}
 
 	fmt.Println("\nCOUP keeps updates in the private caches (Fig 1c): same final")

@@ -5,15 +5,26 @@
 // are registered workloads, selected by name.
 //
 //	go run ./examples/refcount
+//	go run ./examples/refcount -scale 0.05   # tiny run (CI smoke tests)
 package main
 
 import (
+	"flag"
 	"fmt"
 
 	"repro/pkg/coup"
 )
 
 const cores = 64
+
+// scaled shrinks a work size by the -scale factor, keeping it positive.
+func scaled(n int, scale float64) int {
+	v := int(float64(n) * scale)
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
 
 func run(workload, protocol string, wp coup.WorkloadParams) uint64 {
 	st, err := coup.Run(workload,
@@ -28,17 +39,20 @@ func run(workload, protocol string, wp coup.WorkloadParams) uint64 {
 }
 
 func main() {
+	scale := flag.Float64("scale", 1.0, "shrink the workload for quick runs (1.0 = full)")
+	flag.Parse()
 	fmt.Printf("reference counting on %d cores (1024 objects)\n\n", cores)
 
-	imm := coup.WorkloadParams{Counters: 1024, Size: 2000, HighCount: true, Seed: 21}
+	imm := coup.WorkloadParams{Counters: 1024, Size: scaled(2000, *scale), HighCount: true, Seed: 21}
 	fmt.Println("immediate deallocation (cycles, lower is better):")
 	xadd := run("refcount", "MESI", imm)
 	cp := run("refcount", "MEUSI", imm)
 	snzi := run("refcount-snzi", "MESI", imm)
 	fmt.Printf("  XADD %d   COUP %d   SNZI %d\n\n", xadd, cp, snzi)
 
-	del := coup.WorkloadParams{Counters: 8192, Iters: 2, UpdatesPerEpoch: 300, Seed: 27}
-	fmt.Println("delayed deallocation, 300 updates/epoch (cycles, lower is better):")
+	upe := scaled(300, *scale)
+	del := coup.WorkloadParams{Counters: 8192, Iters: 2, UpdatesPerEpoch: upe, Seed: 27}
+	fmt.Printf("delayed deallocation, %d updates/epoch (cycles, lower is better):\n", upe)
 	dcoup := run("refcount-delayed", "MEUSI", del)
 	drefc := run("refcount-refcache", "MESI", del)
 	fmt.Printf("  COUP (counters + commutative-or bitmap) %d\n", dcoup)

@@ -1,0 +1,52 @@
+// Package examples_test smoke-tests the runnable examples: each one is
+// built and executed at tiny scale (-scale), asserting a zero exit, so
+// example rot fails `go test ./...` instead of being discovered by users.
+// The test is -short-friendly: tiny scales keep the whole suite to a few
+// seconds.
+package examples_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// exampleDirs lists every example with the -scale it smoke-runs at.
+var exampleDirs = []struct {
+	dir   string
+	scale string
+}{
+	{"quickstart", "0.05"},
+	{"histogram", "0.02"},
+	{"bfs", "0.02"},
+	{"refcount", "0.05"},
+}
+
+func TestExamplesRun(t *testing.T) {
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go toolchain not on PATH; cannot build examples")
+	}
+	bindir := t.TempDir()
+	for _, ex := range exampleDirs {
+		ex := ex
+		t.Run(ex.dir, func(t *testing.T) {
+			t.Parallel()
+			bin := filepath.Join(bindir, ex.dir)
+			build := exec.Command(goBin, "build", "-o", bin, "./"+ex.dir)
+			build.Env = os.Environ()
+			if out, err := build.CombinedOutput(); err != nil {
+				t.Fatalf("build: %v\n%s", err, out)
+			}
+			run := exec.Command(bin, "-scale", ex.scale)
+			out, err := run.CombinedOutput()
+			if err != nil {
+				t.Fatalf("run -scale %s: %v\n%s", ex.scale, err, out)
+			}
+			if len(out) == 0 {
+				t.Error("example produced no output")
+			}
+		})
+	}
+}

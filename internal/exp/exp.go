@@ -36,6 +36,18 @@ func DefaultParams() Params {
 	return Params{Scale: 1.0, Reps: 1, MaxCores: 128}
 }
 
+// BenchParams returns the benchmark-scale parameters every quick consumer
+// shares — the root testing.B benchmarks and coupbench -quick: inputs
+// shrunk 20x and core sweeps capped at 32, small enough for tight
+// edit-run loops while still exercising every experiment's full code
+// path.
+func BenchParams() Params {
+	p := DefaultParams()
+	p.Scale = 0.05
+	p.MaxCores = 32
+	return p
+}
+
 func (p Params) scaleInt(n int) int {
 	v := int(math.Round(float64(n) * p.Scale))
 	if v < 1 {
@@ -99,6 +111,18 @@ func Names() []string {
 		ids[i] = e.ID
 	}
 	return ids
+}
+
+// Listing returns one "id — description" line per registered experiment,
+// sorted by id, so listings and unknown-id errors show what each
+// experiment is rather than bare names.
+func Listing() []string {
+	all := All()
+	lines := make([]string, len(all))
+	for i, e := range all {
+		lines[i] = fmt.Sprintf("%-10s %s", e.ID, e.Desc)
+	}
+	return lines
 }
 
 // point is one aggregated data point: the mean cycle count and the CI95

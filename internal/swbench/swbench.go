@@ -1,0 +1,339 @@
+// Package swbench is the software-side benchmark harness shared by
+// cmd/commutebench and the "figsw" experiment: it drives the pkg/commute
+// structures and their conventional counterparts (a shared atomic, a
+// mutex) with the same workload shapes the simulator runs — contended
+// counters and histograms under Zipf-skewed traffic — and reports
+// wall-clock throughput. Where pkg/coup measures simulated cycles,
+// swbench measures the real machine; the two sides of the repo's
+// hardware-vs-simulation cross-validation.
+package swbench
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/stats"
+	"repro/pkg/commute"
+)
+
+// Impl selects the implementation under test.
+type Impl string
+
+const (
+	// ImplCommute uses the pkg/commute sharded structures (software COUP).
+	ImplCommute Impl = "commute"
+	// ImplAtomic uses one shared word per cell updated with sync/atomic
+	// RMWs — the MESI-atomics baseline.
+	ImplAtomic Impl = "atomic"
+	// ImplMutex guards the shared state with one sync.Mutex — the
+	// pessimistic software baseline.
+	ImplMutex Impl = "mutex"
+)
+
+// Impls lists the implementations in comparison order.
+func Impls() []Impl { return []Impl{ImplCommute, ImplAtomic, ImplMutex} }
+
+// Kind selects the workload shape.
+type Kind string
+
+const (
+	// KindCounter updates Cells shared counters (Cells=1 is the paper's
+	// Fig 1 maximally-contended counter).
+	KindCounter Kind = "counter"
+	// KindHist updates one shared histogram of Bins buckets (the Fig 2
+	// shape).
+	KindHist Kind = "hist"
+)
+
+// Kinds lists the workload shapes.
+func Kinds() []Kind { return []Kind{KindCounter, KindHist} }
+
+// Config describes one measured run.
+type Config struct {
+	Kind    Kind
+	Impl    Impl
+	Threads int // goroutines; GOMAXPROCS is not changed by the harness
+	Ops     int // updates per goroutine
+	Cells   int // counters for KindCounter (>= 1)
+	Bins    int // buckets for KindHist (>= 1)
+	// ZipfS skews target selection: > 1 draws cells/bins from a Zipf
+	// distribution with exponent s (P(k) ∝ (1+k)^-s, so larger s = more
+	// skew toward cell 0); <= 1 selects uniformly. 1.07 approximates
+	// typical hot-key traffic.
+	ZipfS float64
+	// ReadEvery folds a reduce-on-read into the stream every N updates
+	// (0 = update-only), pricing COUP's read path.
+	ReadEvery int
+	Seed      uint64
+}
+
+// Result is one measured run.
+type Result struct {
+	Config
+	Elapsed    time.Duration
+	NsPerOp    float64
+	MOpsPerSec float64
+	// Total is the final reduced sum over all cells/bins, for validation:
+	// it must equal Threads*Ops regardless of implementation.
+	Total uint64
+}
+
+// Run executes one configuration and returns its measurement. The target
+// sequences are pre-generated outside the timed region so the loop
+// measures only the update path, and every goroutine starts on a common
+// barrier. It returns an error if the final reduction does not equal the
+// number of updates issued (an equivalence failure).
+func Run(c Config) (Result, error) {
+	if c.Threads < 1 || c.Ops < 1 {
+		return Result{}, fmt.Errorf("swbench: need threads >= 1 and ops >= 1, got %d, %d", c.Threads, c.Ops)
+	}
+	cells := c.Cells
+	if c.Kind == KindHist {
+		cells = c.Bins
+	}
+	if cells < 1 {
+		cells = 1
+	}
+	targets := genTargets(c, cells)
+	u, err := newUpdater(c, cells)
+	if err != nil {
+		return Result{}, err
+	}
+
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for t := 0; t < c.Threads; t++ {
+		wg.Add(1)
+		go func(seq []uint32) {
+			defer wg.Done()
+			<-start
+			if c.ReadEvery > 0 {
+				for i, cell := range seq {
+					u.update(int(cell))
+					if (i+1)%c.ReadEvery == 0 {
+						u.read(int(cell))
+					}
+				}
+				return
+			}
+			for _, cell := range seq {
+				u.update(int(cell))
+			}
+		}(targets[t])
+	}
+	t0 := time.Now()
+	close(start)
+	wg.Wait()
+	elapsed := time.Since(t0)
+
+	total := u.total()
+	want := uint64(c.Threads * c.Ops)
+	if total != want {
+		return Result{}, fmt.Errorf("swbench: %s/%s reduced to %d updates, want %d", c.Kind, c.Impl, total, want)
+	}
+	ops := float64(want)
+	return Result{
+		Config:     c,
+		Elapsed:    elapsed,
+		NsPerOp:    float64(elapsed.Nanoseconds()) / ops,
+		MOpsPerSec: ops / elapsed.Seconds() / 1e6,
+		Total:      total,
+	}, nil
+}
+
+// Measure runs the configuration reps times (varying the seed) and
+// returns the per-rep results plus the mean and CI95 half-width of
+// ns/op, the same mean±CI reporting the simulator harness uses.
+func Measure(c Config, reps int) (results []Result, meanNs, ci95 float64, err error) {
+	if reps < 1 {
+		reps = 1
+	}
+	// One untimed warmup at reduced size settles allocator and scheduler
+	// state, which otherwise dominates the first rep's measurement.
+	warm := c
+	if warm.Ops > 1_000 {
+		warm.Ops = 1_000
+	}
+	if _, werr := Run(warm); werr != nil {
+		return nil, 0, 0, werr
+	}
+	ns := make([]float64, 0, reps)
+	for r := 0; r < reps; r++ {
+		rc := c
+		rc.Seed = c.Seed + uint64(r)
+		res, rerr := Run(rc)
+		if rerr != nil {
+			return nil, 0, 0, rerr
+		}
+		results = append(results, res)
+		ns = append(ns, res.NsPerOp)
+	}
+	return results, stats.Mean(ns), stats.CI95(ns), nil
+}
+
+// genTargets pre-draws each goroutine's cell sequence. Zipf skew uses
+// math/rand's generator (rand/v2 has no Zipf); determinism per
+// (seed, thread) keeps reruns comparable.
+func genTargets(c Config, cells int) [][]uint32 {
+	out := make([][]uint32, c.Threads)
+	for t := range out {
+		seq := make([]uint32, c.Ops)
+		if cells > 1 {
+			rng := rand.New(rand.NewSource(int64(c.Seed) + int64(t)*7919 + 1))
+			if c.ZipfS > 1 {
+				z := rand.NewZipf(rng, c.ZipfS, 1, uint64(cells-1))
+				for i := range seq {
+					seq[i] = uint32(z.Uint64())
+				}
+			} else {
+				for i := range seq {
+					seq[i] = uint32(rng.Intn(cells))
+				}
+			}
+		}
+		out[t] = seq
+	}
+	return out
+}
+
+// updater is one implementation of the update/read/total triple.
+type updater interface {
+	update(cell int)
+	read(cell int) uint64
+	total() uint64
+}
+
+func newUpdater(c Config, cells int) (updater, error) {
+	switch c.Impl {
+	case ImplCommute:
+		if c.Kind == KindHist {
+			return &commuteHist{h: commute.MustHistogram(cells)}, nil
+		}
+		u := &commuteCells{cs: make([]*commute.Counter, cells)}
+		for i := range u.cs {
+			u.cs[i] = commute.MustCounter()
+		}
+		return u, nil
+	case ImplAtomic:
+		if c.Kind == KindHist {
+			return &atomicHist{vs: make([]atomic.Uint64, cells)}, nil
+		}
+		return &atomicCells{vs: make([]padCell, cells)}, nil
+	case ImplMutex:
+		return &mutexCells{vs: make([]uint64, cells)}, nil
+	}
+	return nil, fmt.Errorf("swbench: unknown impl %q (have: commute, atomic, mutex)", c.Impl)
+}
+
+// commuteCells: one sharded counter per cell.
+type commuteCells struct{ cs []*commute.Counter }
+
+func (u *commuteCells) update(cell int)      { u.cs[cell].Add(1) }
+func (u *commuteCells) read(cell int) uint64 { return uint64(u.cs[cell].Value()) }
+func (u *commuteCells) total() uint64 {
+	var s uint64
+	for _, c := range u.cs {
+		s += uint64(c.Value())
+	}
+	return s
+}
+
+// commuteHist: one sharded histogram.
+type commuteHist struct{ h *commute.Histogram }
+
+func (u *commuteHist) update(cell int)      { u.h.Inc(cell) }
+func (u *commuteHist) read(cell int) uint64 { return u.h.Bin(cell) }
+func (u *commuteHist) total() uint64 {
+	var s uint64
+	for _, v := range u.h.Snapshot(nil) {
+		s += v
+	}
+	return s
+}
+
+// padCell pads counter-kind atomic cells to a line each (distinct
+// counters should contend only when traffic collides, as in the
+// simulator's one-counter-per-line layout); histogram-kind baselines
+// deliberately stay packed, sharing lines like the real shared array.
+type padCell struct {
+	v atomic.Uint64
+	_ [56]byte
+}
+
+type atomicCells struct{ vs []padCell }
+
+func (u *atomicCells) update(cell int)      { u.vs[cell].v.Add(1) }
+func (u *atomicCells) read(cell int) uint64 { return u.vs[cell].v.Load() }
+func (u *atomicCells) total() uint64 {
+	var s uint64
+	for i := range u.vs {
+		s += u.vs[i].v.Load()
+	}
+	return s
+}
+
+// atomicHist is the packed shared histogram updated with atomic adds —
+// bins share cache lines, exactly like the OpenCV/TBB shared array the
+// paper's MESI baseline models.
+type atomicHist struct{ vs []atomic.Uint64 }
+
+func (u *atomicHist) update(cell int)      { u.vs[cell].Add(1) }
+func (u *atomicHist) read(cell int) uint64 { return u.vs[cell].Load() }
+func (u *atomicHist) total() uint64 {
+	var s uint64
+	for i := range u.vs {
+		s += u.vs[i].Load()
+	}
+	return s
+}
+
+type mutexCells struct {
+	mu sync.Mutex
+	vs []uint64
+}
+
+func (u *mutexCells) update(cell int) {
+	u.mu.Lock()
+	u.vs[cell]++
+	u.mu.Unlock()
+}
+
+func (u *mutexCells) read(cell int) uint64 {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.vs[cell]
+}
+
+func (u *mutexCells) total() uint64 {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	var s uint64
+	for _, v := range u.vs {
+		s += v
+	}
+	return s
+}
+
+// DefaultThreads returns the thread sweep 1,2,4,... capped at max (and at
+// least reaching GOMAXPROCS, the point the -cpu axis of the package
+// benchmarks sweeps to).
+func DefaultThreads(max int) []int {
+	if max < 1 {
+		max = runtime.GOMAXPROCS(0)
+		if max < 8 {
+			max = 8
+		}
+	}
+	var out []int
+	for t := 1; t <= max; t *= 2 {
+		out = append(out, t)
+	}
+	if out[len(out)-1] != max {
+		out = append(out, max)
+	}
+	return out
+}

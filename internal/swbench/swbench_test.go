@@ -1,0 +1,70 @@
+package swbench
+
+import "testing"
+
+// TestRunEquivalence: every (kind, impl) pair must reduce to exactly
+// threads*ops updates — the software form of the simulator workloads'
+// Validate step.
+func TestRunEquivalence(t *testing.T) {
+	for _, kind := range Kinds() {
+		for _, impl := range Impls() {
+			c := Config{
+				Kind: kind, Impl: impl,
+				Threads: 4, Ops: 5_000,
+				Cells: 8, Bins: 64,
+				ZipfS: 1.07, ReadEvery: 64, Seed: 1,
+			}
+			res, err := Run(c)
+			if err != nil {
+				t.Errorf("%s/%s: %v", kind, impl, err)
+				continue
+			}
+			if res.Total != 4*5_000 {
+				t.Errorf("%s/%s: total %d", kind, impl, res.Total)
+			}
+			if res.NsPerOp <= 0 || res.MOpsPerSec <= 0 {
+				t.Errorf("%s/%s: non-positive rates %+v", kind, impl, res)
+			}
+		}
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	if _, err := Run(Config{Kind: KindCounter, Impl: ImplAtomic}); err == nil {
+		t.Error("zero threads/ops accepted")
+	}
+	if _, err := Run(Config{Kind: KindCounter, Impl: "bogus", Threads: 1, Ops: 1}); err == nil {
+		t.Error("unknown impl accepted")
+	}
+}
+
+func TestMeasureCI(t *testing.T) {
+	c := Config{Kind: KindCounter, Impl: ImplCommute, Threads: 2, Ops: 2_000, Cells: 1, Seed: 3}
+	results, mean, ci, err := Measure(c, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 || mean <= 0 || ci < 0 {
+		t.Errorf("Measure: %d results, mean %v, ci %v", len(results), mean, ci)
+	}
+	// Seeds must differ per rep so the CI reflects real variation.
+	if results[0].Seed == results[1].Seed {
+		t.Error("reps share a seed")
+	}
+}
+
+func TestDefaultThreads(t *testing.T) {
+	got := DefaultThreads(8)
+	want := []int{1, 2, 4, 8}
+	if len(got) != len(want) {
+		t.Fatalf("DefaultThreads(8) = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("DefaultThreads(8) = %v, want %v", got, want)
+		}
+	}
+	if got := DefaultThreads(12); got[len(got)-1] != 12 {
+		t.Errorf("DefaultThreads(12) = %v, want trailing 12", got)
+	}
+}

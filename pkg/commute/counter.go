@@ -1,0 +1,68 @@
+package commute
+
+// Counter is a sharded 64-bit counter: the software form of the paper's
+// Fig 1 contended counter, with COUP's asymmetry — adds are the cheap
+// update-only path (one uncontended atomic add on a private line), reads
+// pay the reduction. Deltas may be negative; the count wraps modulo 2^64
+// exactly like ops.AddI64.
+type Counter struct {
+	mask   uint32
+	shards []padWord
+}
+
+// NewCounter builds a counter at zero.
+func NewCounter(opts ...Option) (*Counter, error) {
+	c, err := buildConfig(opts)
+	if err != nil {
+		return nil, err
+	}
+	n := c.nshards()
+	return &Counter{mask: uint32(n - 1), shards: make([]padWord, n)}, nil
+}
+
+// MustCounter is NewCounter, panicking on bad options.
+func MustCounter(opts ...Option) *Counter {
+	c, err := NewCounter(opts...)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Add folds delta into the calling goroutine's shard. Unlike the generic
+// Sharded.Apply, addition needs no CAS loop: the shard add is a single
+// atomic instruction, uncontended as long as the shard stays P-private.
+func (c *Counter) Add(delta int64) {
+	t := tokenPool.Get().(*token)
+	c.shards[t.idx&c.mask].v.Add(uint64(delta))
+	tokenPool.Put(t)
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Dec subtracts one.
+func (c *Counter) Dec() { c.Add(-1) }
+
+// Value reduces the shards and returns the count. It observes every Add
+// that happened-before the call.
+func (c *Counter) Value() int64 {
+	var acc uint64
+	for i := range c.shards {
+		acc += c.shards[i].v.Load()
+	}
+	return int64(acc)
+}
+
+// Drain returns the count and resets the counter to zero; every
+// concurrent Add lands in exactly one drain.
+func (c *Counter) Drain() int64 {
+	var acc uint64
+	for i := range c.shards {
+		acc += c.shards[i].v.Swap(0)
+	}
+	return int64(acc)
+}
+
+// Shards returns the shard count.
+func (c *Counter) Shards() int { return len(c.shards) }

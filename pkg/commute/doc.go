@@ -1,0 +1,66 @@
+// Package commute is a software Coup runtime: concurrent data structures
+// that buffer commutative updates in cache-line-padded private shards and
+// fold them with a reduction only when someone reads — the same
+// privatize-then-merge strategy the COUP coherence protocol (Zhang,
+// Harrison & Sanchez, MICRO 2015) implements in hardware with its
+// update-only U state, and that this repository otherwise only simulates.
+//
+// Where pkg/coup measures the protocol on a simulated machine, pkg/commute
+// delivers the same win on the real one: updates touch a shard biased to
+// the calling goroutine's processor, so concurrent writers stop fighting
+// over one cache line, and the cost of merging is paid by readers, who are
+// rare in update-heavy phases. The cmd/commutebench CLI and the "figsw"
+// experiment in the harness cross-validate the two: measured software
+// scaling next to the simulator's MESI-vs-MEUSI curves on the same
+// workload shapes.
+//
+// # Protocol concepts, library concepts
+//
+// Every mechanism here is the software image of a protocol mechanism:
+//
+//	coherence protocol (paper)          pkg/commute
+//	----------------------------------  ----------------------------------
+//	U state: private, update-only copy  private shard: padded per-P slot
+//	line initialized to identity on     shard initialized to Op.Identity
+//	  transition into U (Sec 3.1.2)       at construction and after drains
+//	commutative-update instruction      Apply/Add/Observe: update-only
+//	  (no read permission needed)         fast path, never reads the total
+//	reduction unit folding U copies     Op.Combine folding shards
+//	GetS triggering a full reduction,   Read/Value/Snapshot: merge-on-read
+//	  U->S downgrade (Fig 5 flows)        over every shard
+//	single-sharer partial reduction     uncontended shard: the fold
+//	  (Sec 3.3)                           degenerates to one load
+//	op-type table per line (Sec 3.2)    Op, derived from the internal/ops
+//	                                      taxonomy plus library extensions
+//	SNZI / escalation for zero checks   RefCount: nonzero-shard indicator
+//	  (Sec 5.4)                           plus Escalate() to an exact mode
+//
+// # Structures
+//
+// Four structures cover the paper's workload families, plus the generic
+// cell they are built from:
+//
+//   - Sharded: one logical 64-bit word under any commutative monoid Op —
+//     the software U-state cell everything else specializes.
+//   - Counter: sharded add (the Fig 1 contended counter).
+//   - Histogram: vector add over buckets (the Fig 2/Fig 10 hist family).
+//   - MinMax: idempotent min/max — updates that already hold are pure
+//     loads, the software image of a silent U hit.
+//   - RefCount: reference counting with zero-detection escalation,
+//     mirroring internal/workloads/refcount.go's plain vs SNZI variants.
+//
+// All structures are safe for concurrent use by any number of goroutines.
+// Updates are linearizable per shard; Read folds the shards and is exact
+// whenever it does not race with in-flight updates (e.g. at any quiescent
+// point, or under external synchronization), which is the same guarantee a
+// parallel reduction gives. Counter.Value and Histogram.Snapshot observe
+// every update that happened-before the call.
+//
+// # Choosing shard counts
+//
+// Structures default to the next power of two >= GOMAXPROCS shards, the
+// software analogue of one U copy per private cache. WithShards overrides
+// it: fewer shards shrink the merge cost of reads, more shards reduce
+// update contention — exactly the paper's reduction-cost vs
+// update-locality trade (Sec 3.3).
+package commute

@@ -1,0 +1,112 @@
+package commute
+
+import (
+	"math"
+	"sync/atomic"
+
+	"repro/internal/ops"
+)
+
+// minmaxShard tracks one shard's running extremes plus an observation
+// count, padded to its own cache line.
+type minmaxShard struct {
+	n   atomic.Uint64
+	min atomic.Int64
+	max atomic.Int64
+	_   [ops.LineBytes - 24]byte
+}
+
+// MinMax tracks the minimum and maximum of observed int64 values. Min and
+// max are idempotent commutative ops — the degenerate case where COUP's
+// update buffering shines brightest, because a value that does not improve
+// the running extreme completes as a pure load with no write at all (the
+// software image of a silent U hit).
+type MinMax struct {
+	mask   uint32
+	shards []minmaxShard
+}
+
+// NewMinMax builds an empty tracker: shards start at the Min64/Max64
+// identities, so untouched shards never win the fold.
+func NewMinMax(opts ...Option) (*MinMax, error) {
+	c, err := buildConfig(opts)
+	if err != nil {
+		return nil, err
+	}
+	n := c.nshards()
+	m := &MinMax{mask: uint32(n - 1), shards: make([]minmaxShard, n)}
+	for i := range m.shards {
+		m.shards[i].min.Store(math.MaxInt64)
+		m.shards[i].max.Store(math.MinInt64)
+	}
+	return m, nil
+}
+
+// MustMinMax is NewMinMax, panicking on bad options.
+func MustMinMax(opts ...Option) *MinMax {
+	m, err := NewMinMax(opts...)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Observe folds v into the calling goroutine's shard. The extremes are
+// installed before the observation count, so a reader that sees n > 0 is
+// guaranteed to see at least one real value, never a bare identity.
+func (m *MinMax) Observe(v int64) {
+	t := tokenPool.Get().(*token)
+	s := &m.shards[t.idx&m.mask]
+	for {
+		cur := s.min.Load()
+		if v >= cur || s.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := s.max.Load()
+		if v <= cur || s.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	s.n.Add(1)
+	tokenPool.Put(t)
+}
+
+// N reduces the observation count.
+func (m *MinMax) N() uint64 {
+	var n uint64
+	for i := range m.shards {
+		n += m.shards[i].n.Load()
+	}
+	return n
+}
+
+// Min reduces the shards' minima. ok is false when nothing has been
+// observed.
+func (m *MinMax) Min() (v int64, ok bool) {
+	v = math.MaxInt64
+	for i := range m.shards {
+		if s := m.shards[i].min.Load(); s < v {
+			v = s
+		}
+		ok = ok || m.shards[i].n.Load() > 0
+	}
+	return v, ok
+}
+
+// Max reduces the shards' maxima. ok is false when nothing has been
+// observed.
+func (m *MinMax) Max() (v int64, ok bool) {
+	v = math.MinInt64
+	for i := range m.shards {
+		if s := m.shards[i].max.Load(); s > v {
+			v = s
+		}
+		ok = ok || m.shards[i].n.Load() > 0
+	}
+	return v, ok
+}
+
+// Shards returns the shard count.
+func (m *MinMax) Shards() int { return len(m.shards) }

@@ -1,0 +1,130 @@
+package commute
+
+import (
+	"fmt"
+
+	"repro/internal/ops"
+)
+
+// Op is a commutative monoid over 64-bit words: the software form of a
+// COUP commutative-update type. Combine must be commutative and
+// associative, and Identity must be its neutral element — the same laws
+// the protocol needs to buffer updates privately and fold them in any
+// order (paper, Sec 3.2). Implementations must be stateless and safe for
+// concurrent use.
+type Op interface {
+	// Name is a short mnemonic for listings and benchmarks.
+	Name() string
+	// Identity returns the neutral element: Combine(Identity(), x) == x.
+	// Shards are initialized to it on construction, mirroring lines
+	// initialized to the identity on a transition into U.
+	Identity() uint64
+	// Combine merges two partial values. For sub-word ops the word packs
+	// independent lanes, as in internal/ops.
+	Combine(a, b uint64) uint64
+}
+
+// taxonomyOp adapts one internal/ops update type to the Op interface, so
+// the simulator and the software runtime share one op table.
+type taxonomyOp struct{ t ops.Type }
+
+func (o taxonomyOp) Name() string               { return o.t.String() }
+func (o taxonomyOp) Identity() uint64           { return o.t.Identity() }
+func (o taxonomyOp) Combine(a, b uint64) uint64 { return ops.Apply(o.t, a, b) }
+
+// The eight paper operation types (Sec 5.1), derived from the
+// internal/ops taxonomy: integer adds at three widths, float adds at two,
+// and the three bitwise ops.
+var (
+	Add16  Op = taxonomyOp{ops.AddI16}
+	Add32  Op = taxonomyOp{ops.AddI32}
+	Add64  Op = taxonomyOp{ops.AddI64}
+	AddF32 Op = taxonomyOp{ops.AddF32}
+	AddF64 Op = taxonomyOp{ops.AddF64}
+	And64  Op = taxonomyOp{ops.And64}
+	Or64   Op = taxonomyOp{ops.Or64}
+	Xor64  Op = taxonomyOp{ops.Xor64}
+)
+
+// funcOp is a user- or library-defined op.
+type funcOp struct {
+	name     string
+	identity uint64
+	combine  func(a, b uint64) uint64
+}
+
+func (o funcOp) Name() string               { return o.name }
+func (o funcOp) Identity() uint64           { return o.identity }
+func (o funcOp) Combine(a, b uint64) uint64 { return o.combine(a, b) }
+
+// NewOp defines a custom commutative op. The caller is responsible for the
+// monoid laws; OpLawsOK spot-checks them and the package tests run it over
+// every built-in.
+func NewOp(name string, identity uint64, combine func(a, b uint64) uint64) Op {
+	if combine == nil {
+		panic("commute: NewOp with nil combine")
+	}
+	return funcOp{name: name, identity: identity, combine: combine}
+}
+
+// Min64 and Max64 extend the taxonomy with the idempotent ops MinMax
+// uses. They interpret words as int64 (two's complement); their identities
+// are the extreme values, so untouched shards never win a fold.
+var (
+	Min64 = NewOp("min64", 0x7FFFFFFFFFFFFFFF, func(a, b uint64) uint64 {
+		if int64(a) < int64(b) {
+			return a
+		}
+		return b
+	})
+	Max64 = NewOp("max64", 0x8000000000000000, func(a, b uint64) uint64 {
+		if int64(a) > int64(b) {
+			return a
+		}
+		return b
+	})
+)
+
+// Ops returns the full built-in op table: the eight paper types from
+// internal/ops plus the min/max extensions, in a stable order. It is the
+// software counterpart of the directory's four-bit op-type table.
+func Ops() []Op {
+	out := make([]Op, 0, len(ops.UpdateTypes())+2)
+	for _, t := range ops.UpdateTypes() {
+		out = append(out, taxonomyOp{t})
+	}
+	return append(out, Min64, Max64)
+}
+
+// OpByName resolves a built-in op by its mnemonic (as printed by Name).
+func OpByName(name string) (Op, error) {
+	for _, o := range Ops() {
+		if o.Name() == name {
+			return o, nil
+		}
+	}
+	return nil, fmt.Errorf("commute: unknown op %q", name)
+}
+
+// OpLawsOK spot-checks the monoid laws on sample words: identity on both
+// sides and commutativity. It cannot prove associativity for float ops
+// (the paper accepts FP addition despite rounding, Sec 4.1), so it checks
+// exact laws only where they hold bit-for-bit.
+func OpLawsOK(o Op, samples ...uint64) error {
+	id := o.Identity()
+	for _, x := range samples {
+		if got := o.Combine(id, x); got != x {
+			return fmt.Errorf("commute: op %s: Combine(identity, %#x) = %#x", o.Name(), x, got)
+		}
+		if got := o.Combine(x, id); got != x {
+			return fmt.Errorf("commute: op %s: Combine(%#x, identity) = %#x", o.Name(), x, got)
+		}
+		for _, y := range samples {
+			if ab, ba := o.Combine(x, y), o.Combine(y, x); ab != ba {
+				return fmt.Errorf("commute: op %s: not commutative on %#x, %#x: %#x vs %#x",
+					o.Name(), x, y, ab, ba)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,259 @@
+package commute
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/ops"
+)
+
+// RefStyle selects a RefCount implementation, mirroring the Sec 5.4
+// variants in internal/workloads/refcount.go.
+type RefStyle uint8
+
+const (
+	// RefSharded buffers increments and decrements in private shards and
+	// keeps an SNZI-style nonzero-shard indicator for cheap zero checks;
+	// Escalate folds the shards into one exact central counter for the
+	// object's endgame. This is the library form of the paper's
+	// COUP-vs-SNZI comparison: updates commute and stay private, reads
+	// (zero checks) are served by an indicator instead of a full fold.
+	RefSharded RefStyle = iota
+	// RefPlain keeps one central counter from the start: every operation
+	// is an atomic RMW on one shared line and Dec's zero check is exact
+	// and immediate — the paper's XADD baseline.
+	RefPlain
+)
+
+func (s RefStyle) String() string {
+	if s == RefPlain {
+		return "plain"
+	}
+	return "sharded"
+}
+
+// refShard is one private slice of the count. The shard mutex orders the
+// count update with the indicator update and with escalation; it is
+// uncontended as long as the shard stays P-private, so the fast path is
+// one cheap lock plus two plain stores.
+type refShard struct {
+	mu        sync.Mutex
+	n         int64
+	escalated bool
+	_         [ops.LineBytes - 24]byte
+}
+
+// RefCount is a reference counter with zero-detection escalation. While
+// an object is hot, increments and decrements are commutative updates
+// buffered in private shards (RefSharded) and zero detection runs through
+// a conservative SNZI-style indicator: the root counts shards holding a
+// nonzero value, so indicator == 0 proves the count is zero under the
+// usual contract (a goroutine only decrements references it holds, and
+// never resurrects from zero). When surpluses and deficits sit on
+// different shards the indicator stays nonzero and detection is deferred
+// — call Escalate (the percpu-ref "kill" moment, when the last known
+// handle is dropped) to fold the shards into one exact central counter,
+// after which Dec detects zero immediately.
+type RefCount struct {
+	style   RefStyle
+	mask    uint32
+	mode    atomic.Uint32 // 0 = sharded fast path, 1 = escalated
+	central atomic.Int64  // authoritative once escalated
+	root    atomic.Int64  // SNZI-style: number of shards with n != 0
+	zeroed  atomic.Bool   // dedupes the sharded-mode zero report
+	big     sync.Mutex    // serializes escalation and exact folds
+	shards  []refShard
+}
+
+// NewRefCount builds a counter holding initial references (>= 0).
+func NewRefCount(initial int64, style RefStyle, opts ...Option) (*RefCount, error) {
+	if initial < 0 {
+		return nil, fmt.Errorf("commute: negative initial refcount %d", initial)
+	}
+	c, err := buildConfig(opts)
+	if err != nil {
+		return nil, err
+	}
+	n := c.nshards()
+	r := &RefCount{style: style, mask: uint32(n - 1), shards: make([]refShard, n)}
+	if style == RefPlain {
+		r.central.Store(initial)
+		r.mode.Store(1)
+		for i := range r.shards {
+			r.shards[i].escalated = true
+		}
+	} else if initial != 0 {
+		r.shards[0].n = initial
+		r.root.Store(1)
+	}
+	return r, nil
+}
+
+// MustRefCount is NewRefCount, panicking on errors.
+func MustRefCount(initial int64, style RefStyle, opts ...Option) *RefCount {
+	r, err := NewRefCount(initial, style, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Style returns the implementation variant.
+func (r *RefCount) Style() RefStyle { return r.style }
+
+// Escalated reports whether the counter has switched to the exact central
+// mode (always true for RefPlain).
+func (r *RefCount) Escalated() bool { return r.mode.Load() == 1 }
+
+// Inc adds one reference.
+func (r *RefCount) Inc() { r.add(1) }
+
+// add applies delta on the fast path. In sharded mode the shard count and
+// the indicator move together under the shard lock; escalation is checked
+// under the same lock, so a delta lands either in the shard (and is later
+// folded) or in the central counter, never both and never neither.
+func (r *RefCount) add(delta int64) {
+	if r.mode.Load() == 1 {
+		r.central.Add(delta)
+		return
+	}
+	t := tokenPool.Get().(*token)
+	s := &r.shards[t.idx&r.mask]
+	s.mu.Lock()
+	if s.escalated {
+		s.mu.Unlock()
+		tokenPool.Put(t)
+		r.central.Add(delta)
+		return
+	}
+	old := s.n
+	s.n = old + delta
+	if (old == 0) != (s.n == 0) {
+		if old == 0 {
+			r.root.Add(1)
+		} else {
+			r.root.Add(-1)
+		}
+	}
+	s.mu.Unlock()
+	tokenPool.Put(t)
+}
+
+// Dec drops one reference and reports whether the count is now known to
+// be zero. RefPlain reports every touch of zero, exactly and immediately.
+// RefSharded reports the object's death at most once: a true return is
+// always correct; before escalation the check runs through the
+// conservative indicator (the counter self-escalates when the indicator
+// proves zero), and cross-shard cancellation can defer detection until
+// Escalate is called, after which Dec is exact.
+func (r *RefCount) Dec() bool {
+	if r.style == RefPlain {
+		// Plain counters report every touch of zero, like the XADD baseline.
+		return r.central.Add(-1) == 0
+	}
+	if r.mode.Load() == 1 {
+		return r.central.Add(-1) == 0 && !r.zeroed.Swap(true)
+	}
+	r.add(-1)
+	if r.mode.Load() == 1 {
+		// Raced with an escalation; the fold saw our delta.
+		return r.central.Load() == 0 && !r.zeroed.Swap(true)
+	}
+	if r.root.Load() != 0 {
+		return false
+	}
+	// Indicator hints every shard is individually zero. Confirm exactly;
+	// only a confirmed zero escalates (the object is dead), so a transient
+	// indicator read racing an in-flight transition cannot demote a live
+	// counter off its sharded fast path.
+	return r.zeroCheck() && !r.zeroed.Swap(true)
+}
+
+// zeroCheck verifies the indicator's zero hint exactly: it sums the
+// shards and the central counter with every shard lock held. A confirmed
+// zero folds and escalates (like escalate); a refuted hint unlocks
+// without changing modes.
+func (r *RefCount) zeroCheck() bool {
+	r.big.Lock()
+	defer r.big.Unlock()
+	if r.mode.Load() == 1 {
+		return r.central.Load() == 0
+	}
+	// Holding all shard locks at once is deadlock-free: the fast paths
+	// only ever hold one shard lock and acquire nothing else under it.
+	sum := r.central.Load()
+	for i := range r.shards {
+		r.shards[i].mu.Lock()
+		sum += r.shards[i].n
+	}
+	if sum != 0 {
+		for i := range r.shards {
+			r.shards[i].mu.Unlock()
+		}
+		return false
+	}
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.escalated = true
+		if s.n != 0 {
+			r.central.Add(s.n)
+			r.root.Add(-1)
+			s.n = 0
+		}
+		s.mu.Unlock()
+	}
+	r.mode.Store(1)
+	return true
+}
+
+// Add adjusts the count by delta (for batched handoffs). Positive or
+// negative; zero detection follows Dec's rules only for Dec, so batched
+// decrements should finish with Dec if the caller needs the zero event.
+func (r *RefCount) Add(delta int64) { r.add(delta) }
+
+// Read folds the shards and the central counter into the exact current
+// count, under the same quiescence caveat as every reduction here.
+func (r *RefCount) Read() int64 {
+	if r.mode.Load() == 1 {
+		return r.central.Load()
+	}
+	r.big.Lock()
+	defer r.big.Unlock()
+	acc := r.central.Load()
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.Lock()
+		acc += s.n
+		s.mu.Unlock()
+	}
+	return acc
+}
+
+// Escalate folds every shard into the central counter and switches the
+// counter to exact mode permanently — the percpu-ref kill: call it when
+// the object leaves its hot phase and exact zero detection starts to
+// matter. It returns the count at the fold. Escalating twice is a no-op
+// returning the current count.
+func (r *RefCount) Escalate() int64 { return r.escalate() }
+
+func (r *RefCount) escalate() int64 {
+	r.big.Lock()
+	defer r.big.Unlock()
+	if r.mode.Load() == 1 {
+		return r.central.Load()
+	}
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.Lock()
+		s.escalated = true
+		r.central.Add(s.n)
+		if s.n != 0 {
+			r.root.Add(-1)
+		}
+		s.n = 0
+		s.mu.Unlock()
+	}
+	r.mode.Store(1)
+	return r.central.Load()
+}

@@ -94,4 +94,17 @@
 // All lookups by name (protocols, workloads) are case-insensitive, and
 // unknown names return typed errors (ErrUnknownProtocol,
 // ErrUnknownWorkload) listing what is registered.
+//
+// # Related: pkg/commute, the software Coup runtime
+//
+// This package measures COUP on a simulated machine; its sibling
+// pkg/commute delivers the same privatize-then-merge strategy as a
+// concurrent data-structure library on the real one. The protocol
+// concepts map one-to-one — the U state becomes a cache-line-padded
+// private shard, the reduction unit becomes merge-on-read, the Fig 5
+// GetS flows become the Read path — and the "figsw" experiment
+// (coupbench -exp figsw, backed by cmd/commutebench) runs the two side
+// by side on the same workload shapes as a
+// hardware-vs-simulation cross-validation. See pkg/commute's package
+// documentation for the full mapping table.
 package coup
