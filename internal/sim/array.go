@@ -1,23 +1,55 @@
 package sim
 
+import "math/bits"
+
 // array is a set-associative cache array with LRU replacement, generic over
 // the per-line payload (private-cache coherence state, or directory state at
-// the shared levels). Sets are allocated lazily so that even full-size
-// Table 1 geometries cost memory only for the sets actually touched.
+// the shared levels).
+//
+// Layout is structure-of-arrays, paged: each page covers a power-of-two run
+// of sets and stores tags, LRU stamps and payloads in three parallel flat
+// slices. A lookup therefore scans only the 8 tag words of a set (one or
+// two cache lines) instead of dragging every way's full slot through the
+// cache, and a set access is two masks, a shift and a bounds-checked index.
+// Small geometries (every L1/L2, and the shrunk shared caches tests use)
+// are pre-sized as a single page, so their page-miss branch is never taken;
+// full-size Table 1 L3/L4 geometries allocate pages lazily, costing memory
+// only for the regions a workload touches.
 type array[P any] struct {
-	ways    int
-	setMask uint64
-	tick    uint64 // LRU clock
-	sets    [][]slot[P]
+	ways       int
+	setMask    uint64
+	setBits    uint   // log2(sets); tag = line >> setBits
+	pageShift  uint   // log2(sets per page)
+	pageSeMask uint64 // sets-per-page - 1
+	tick       uint64 // LRU clock
+	pages      []arrayPage[P]
 }
 
-// slot is one way of one set.
-type slot[P any] struct {
-	tag   uint64 // line address (full address >> 6)
-	lru   uint64
-	valid bool
-	p     P
+// arrayPage holds one page's slots as parallel slices. A tag word is the
+// line address with the set-index bits stripped (hardware-style) plus
+// validBit; zero means empty, and the payload of an empty way is always
+// the zero value. 32-bit tags keep a whole 16-way set's tags in a single
+// cache line; they are exact because simulated physical addresses are
+// bounded (Machine.Alloc caps the address space at 2^36 bytes, so
+// line >> setBits always fits 31 bits).
+type arrayPage[P any] struct {
+	tags []uint32
+	lru  []uint64
+	pay  []P
 }
+
+// validBit marks an occupied way inside a tag word.
+const validBit = 1 << 31
+
+// eagerSlots bounds the geometries (sets × ways) that are pre-sized as a
+// single page at construction. 4096 slots covers a Table-1 L2 (512 sets ×
+// 8 ways); the 32 MB L3 and 128 MB L4 page lazily.
+const eagerSlots = 4096
+
+// lazyPageSlots is the target page size (in slots) for lazily paged
+// geometries: big enough to amortize allocation, small enough that sparse
+// footprints do not overcommit.
+const lazyPageSlots = 1024
 
 // newArray builds an array holding sizeBytes of 64-byte lines with the
 // given associativity. The set count is rounded down to a power of two.
@@ -32,81 +64,114 @@ func newArray[P any](sizeBytes, ways int) *array[P] {
 	for p2*2 <= sets {
 		p2 *= 2
 	}
-	return &array[P]{
-		ways:    ways,
-		setMask: uint64(p2 - 1),
-		sets:    make([][]slot[P], p2),
+	a := &array[P]{ways: ways, setMask: uint64(p2 - 1), setBits: uint(bits.TrailingZeros(uint(p2)))}
+	pageSets := p2
+	if p2*ways > eagerSlots {
+		pageSets = 1
+		for pageSets*2*ways <= lazyPageSlots && pageSets*2 <= p2 {
+			pageSets *= 2
+		}
 	}
+	a.pageShift = uint(bits.TrailingZeros(uint(pageSets)))
+	a.pageSeMask = uint64(pageSets - 1)
+	a.pages = make([]arrayPage[P], p2/pageSets)
+	if pageSets == p2 {
+		a.allocPage(0)
+	}
+	return a
 }
 
-func (a *array[P]) set(line uint64) []slot[P] {
+// setAt returns the page and intra-page slot offset of line's set.
+func (a *array[P]) setAt(line uint64) (*arrayPage[P], uint64) {
 	i := line & a.setMask
-	if a.sets[i] == nil {
-		a.sets[i] = make([]slot[P], a.ways)
+	pg := &a.pages[i>>a.pageShift]
+	if pg.tags == nil {
+		a.allocPage(i >> a.pageShift)
 	}
-	return a.sets[i]
+	return pg, (i & a.pageSeMask) * uint64(a.ways)
 }
 
-// lookup returns the slot holding line, updating LRU, or nil on a miss.
-func (a *array[P]) lookup(line uint64) *slot[P] {
-	s := a.set(line)
-	for i := range s {
-		if s[i].valid && s[i].tag == line {
+// allocPage is the cold path of setAt: lazy page allocation for large
+// geometries.
+//
+//go:noinline
+func (a *array[P]) allocPage(pi uint64) {
+	n := (a.pageSeMask + 1) * uint64(a.ways)
+	a.pages[pi] = arrayPage[P]{tags: make([]uint32, n), lru: make([]uint64, n), pay: make([]P, n)}
+}
+
+// lookup returns the payload of the way holding line, updating LRU, or nil
+// on a miss.
+func (a *array[P]) lookup(line uint64) *P {
+	pg, base := a.setAt(line)
+	key := uint32(line>>a.setBits) | validBit
+	tags := pg.tags[base : base+uint64(a.ways)]
+	for w := range tags {
+		if tags[w] == key {
 			a.tick++
-			s[i].lru = a.tick
-			return &s[i]
+			pg.lru[base+uint64(w)] = a.tick
+			return &pg.pay[base+uint64(w)]
 		}
 	}
 	return nil
 }
 
-// peek returns the slot holding line without touching LRU state.
-func (a *array[P]) peek(line uint64) *slot[P] {
-	s := a.set(line)
-	for i := range s {
-		if s[i].valid && s[i].tag == line {
-			return &s[i]
+// peek returns the payload of the way holding line without touching LRU
+// state.
+func (a *array[P]) peek(line uint64) *P {
+	pg, base := a.setAt(line)
+	key := uint32(line>>a.setBits) | validBit
+	tags := pg.tags[base : base+uint64(a.ways)]
+	for w := range tags {
+		if tags[w] == key {
+			return &pg.pay[base+uint64(w)]
 		}
 	}
 	return nil
 }
 
-// insert allocates a slot for line, evicting the LRU way if the set is
-// full. It returns the slot (valid, tagged, zero payload) plus the victim's
+// insert allocates a way for line, evicting the LRU way if the set is
+// full. It returns the new way's payload (zero value) plus the victim's
 // tag and payload if an eviction occurred. The caller must not insert a
 // line that is already present.
-func (a *array[P]) insert(line uint64) (s *slot[P], victimTag uint64, victim P, evicted bool) {
-	set := a.set(line)
+func (a *array[P]) insert(line uint64) (p *P, victimTag uint64, victim P, evicted bool) {
+	pg, base := a.setAt(line)
 	vi, vlru := -1, ^uint64(0)
-	for i := range set {
-		if !set[i].valid {
-			vi = i
+	for w := 0; w < a.ways; w++ {
+		t := pg.tags[base+uint64(w)]
+		if t&validBit == 0 {
+			vi = w
 			evicted = false
-			vlru = 0
 			break
 		}
-		if set[i].lru < vlru {
-			vi, vlru = i, set[i].lru
+		if s := pg.lru[base+uint64(w)]; s < vlru {
+			vi, vlru = w, s
 			evicted = true
 		}
 	}
-	sl := &set[vi]
+	i := base + uint64(vi)
 	if evicted {
-		victimTag, victim = sl.tag, sl.p
+		victimTag = uint64(pg.tags[i]&^validBit)<<a.setBits | (line & a.setMask)
+		victim = pg.pay[i]
 	}
 	a.tick++
 	var zero P
-	*sl = slot[P]{tag: line, lru: a.tick, valid: true, p: zero}
-	return sl, victimTag, victim, evicted
+	pg.tags[i] = uint32(line>>a.setBits) | validBit
+	pg.lru[i] = a.tick
+	pg.pay[i] = zero
+	return &pg.pay[i], victimTag, victim, evicted
 }
 
 // invalidate removes line from the array if present.
 func (a *array[P]) invalidate(line uint64) {
-	s := a.set(line)
-	for i := range s {
-		if s[i].valid && s[i].tag == line {
-			var zero slot[P]
-			s[i] = zero
+	pg, base := a.setAt(line)
+	key := uint32(line>>a.setBits) | validBit
+	for w := 0; w < a.ways; w++ {
+		if pg.tags[base+uint64(w)] == key {
+			var zero P
+			pg.tags[base+uint64(w)] = 0
+			pg.lru[base+uint64(w)] = 0
+			pg.pay[base+uint64(w)] = zero
 			return
 		}
 	}
@@ -115,12 +180,15 @@ func (a *array[P]) invalidate(line uint64) {
 // contains reports presence without touching LRU.
 func (a *array[P]) contains(line uint64) bool { return a.peek(line) != nil }
 
-// forEach visits every valid slot. Used by drain and by invariant checks.
+// forEach visits every valid way, in set-major order. Used by drain and by
+// invariant checks.
 func (a *array[P]) forEach(f func(tag uint64, p *P)) {
-	for _, set := range a.sets {
-		for i := range set {
-			if set[i].valid {
-				f(set[i].tag, &set[i].p)
+	for pi := range a.pages {
+		pg := &a.pages[pi]
+		for i, t := range pg.tags {
+			if t&validBit != 0 {
+				set := uint64(pi)<<a.pageShift + uint64(i)/uint64(a.ways)
+				f(uint64(t&^validBit)<<a.setBits|set, &pg.pay[i])
 			}
 		}
 	}

@@ -58,26 +58,44 @@ func (x *Ctx) Barrier() {
 	x.yield()
 }
 
+// yield suspends the kernel coroutine and hands x.c.req to the engine;
+// when the engine resumes the core, results are already in x.c.req. This
+// is a direct coroutine switch (iter.Pull), not a channel handoff.
 func (x *Ctx) yield() {
-	x.m.opCh <- x.c
-	<-x.c.resume
+	x.c.yield(struct{}{})
 }
 
-func (x *Ctx) issue(r request) request {
-	x.c.req = r
-	x.c.instrs++
+// exec services the operation already stored in c.req (writing the request
+// directly into the core avoids copying it through a parameter) and returns
+// it with its results filled in.
+func (x *Ctx) exec() *request {
+	c := x.c
+	c.instrs++
+	m := x.m
+	// Run-ahead fast path: while this core's clock is still ahead of every
+	// other core's next operation (the packed horizon raH, maintained by
+	// the scheduler and frozen while this core runs), the operation is the
+	// next event in global order and can be serviced right here — no
+	// coroutine switch, no scheduler touch. A single-core machine never
+	// leaves this path.
+	if c.time<<16|uint64(uint16(c.id)) < m.raH {
+		c.time += m.hier.access(c)
+		return &c.req
+	}
 	x.yield()
-	return x.c.req
+	return &c.req
 }
 
 // Load64 loads a 64-bit word.
 func (x *Ctx) Load64(addr uint64) uint64 {
-	return x.issue(request{kind: opLoad, addr: addr, width: 8}).out
+	x.c.req = request{kind: opLoad, addr: addr, width: 8}
+	return x.exec().out
 }
 
 // Load32 loads a 32-bit word.
 func (x *Ctx) Load32(addr uint64) uint32 {
-	return uint32(x.issue(request{kind: opLoad, addr: addr, width: 4}).out)
+	x.c.req = request{kind: opLoad, addr: addr, width: 4}
+	return uint32(x.exec().out)
 }
 
 // LoadF64 loads a float64.
@@ -88,12 +106,14 @@ func (x *Ctx) LoadF32(addr uint64) float32 { return math.Float32frombits(x.Load3
 
 // Store64 stores a 64-bit word.
 func (x *Ctx) Store64(addr, v uint64) {
-	x.issue(request{kind: opStore, addr: addr, val: v, width: 8})
+	x.c.req = request{kind: opStore, addr: addr, val: v, width: 8}
+	x.exec()
 }
 
 // Store32 stores a 32-bit word.
 func (x *Ctx) Store32(addr uint64, v uint32) {
-	x.issue(request{kind: opStore, addr: addr, val: uint64(v), width: 4})
+	x.c.req = request{kind: opStore, addr: addr, val: uint64(v), width: 4}
+	x.exec()
 }
 
 // StoreF64 stores a float64.
@@ -104,50 +124,61 @@ func (x *Ctx) StoreF32(addr uint64, v float32) { x.Store32(addr, math.Float32bit
 
 // AtomicAdd64 is an atomic 64-bit fetch-and-add; it returns the old value.
 func (x *Ctx) AtomicAdd64(addr, delta uint64) uint64 {
-	return x.issue(request{kind: opRMW, addr: addr, val: delta, width: 8, rop: rmwAdd}).out
+	x.c.req = request{kind: opRMW, addr: addr, val: delta, width: 8, rop: rmwAdd}
+	return x.exec().out
 }
 
 // AtomicAdd32 is an atomic 32-bit fetch-and-add; it returns the old value.
 func (x *Ctx) AtomicAdd32(addr uint64, delta uint32) uint32 {
-	return uint32(x.issue(request{kind: opRMW, addr: addr, val: uint64(delta), width: 4, rop: rmwAdd}).out)
+	x.c.req = request{kind: opRMW, addr: addr, val: uint64(delta), width: 4, rop: rmwAdd}
+	return uint32(x.exec().out)
 }
 
 // AtomicOr64 is an atomic 64-bit fetch-and-or; it returns the old value.
 func (x *Ctx) AtomicOr64(addr, bits uint64) uint64 {
-	return x.issue(request{kind: opRMW, addr: addr, val: bits, width: 8, rop: rmwOr}).out
+	x.c.req = request{kind: opRMW, addr: addr, val: bits, width: 8, rop: rmwOr}
+	return x.exec().out
 }
 
 // AtomicXchg64 atomically exchanges a 64-bit word, returning the old value.
 func (x *Ctx) AtomicXchg64(addr, v uint64) uint64 {
-	return x.issue(request{kind: opRMW, addr: addr, val: v, width: 8, rop: rmwXchg}).out
+	x.c.req = request{kind: opRMW, addr: addr, val: v, width: 8, rop: rmwXchg}
+	return x.exec().out
 }
 
 // CAS64 performs an atomic compare-and-swap on a 64-bit word and reports
 // whether it succeeded.
 func (x *Ctx) CAS64(addr, old, new uint64) bool {
-	return x.issue(request{kind: opCAS, addr: addr, cmp: old, val: new, width: 8}).ok
+	x.c.req = request{kind: opCAS, addr: addr, cmp: old, val: new, width: 8}
+	return x.exec().ok
 }
 
 // CAS32 performs an atomic compare-and-swap on a 32-bit word.
 func (x *Ctx) CAS32(addr uint64, old, new uint32) bool {
-	return x.issue(request{kind: opCAS, addr: addr, cmp: uint64(old), val: uint64(new), width: 4}).ok
+	x.c.req = request{kind: opCAS, addr: addr, cmp: uint64(old), val: uint64(new), width: 4}
+	return x.exec().ok
 }
 
 // comm issues a commutative update, falling back per protocol.
 func (x *Ctx) comm(t ops.Type, addr, v uint64, width uint8) {
 	if x.m.commNative {
-		x.issue(request{kind: opComm, addr: addr, val: v, width: width, otype: t})
+		x.c.req = request{kind: opComm, addr: addr, val: v, width: width, otype: t}
+		x.exec()
 	} else {
 		// MESI baseline: the same update expressed with conventional atomics.
 		switch t {
 		case ops.AddI16, ops.AddI32, ops.AddI64:
-			x.issue(request{kind: opRMW, addr: addr, val: v, width: width, rop: rmwAdd})
+			x.c.req = request{kind: opRMW, addr: addr, val: v, width: width, rop: rmwAdd}
+			x.exec()
 		case ops.Or64:
-			x.issue(request{kind: opRMW, addr: addr, val: v, width: width, rop: rmwOr})
+			x.c.req = request{kind: opRMW, addr: addr, val: v, width: width, rop: rmwOr}
+			x.exec()
 		case ops.And64:
-			x.issue(request{kind: opRMW, addr: addr, val: v, width: width, rop: rmwAnd})
+			x.c.req = request{kind: opRMW, addr: addr, val: v, width: width, rop: rmwAnd}
+			x.exec()
 		case ops.Xor64:
-			x.issue(request{kind: opRMW, addr: addr, val: v, width: width, rop: rmwXor})
+			x.c.req = request{kind: opRMW, addr: addr, val: v, width: width, rop: rmwXor}
+			x.exec()
 		case ops.AddF32:
 			for {
 				old := x.Load32(addr)

@@ -1,8 +1,8 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
+	"iter"
 	"math/bits"
 
 	"repro/internal/ops"
@@ -48,12 +48,17 @@ type request struct {
 	ok  bool
 }
 
-// core is one simulated hardware context.
+// core is one simulated hardware context. Its kernel runs inside a pulled
+// iterator (iter.Pull), so suspending at a memory operation and resuming
+// with the result is a direct coroutine switch on the engine's goroutine
+// schedule — no channel operations and no Go-scheduler round trip.
 type core struct {
 	id, chip int
 	time     uint64
 	req      request
-	resume   chan struct{}
+	pc       *privCache              // this core's private caches (hierarchy-owned)
+	yield    func(struct{}) bool     // suspends the kernel, set once at spawn
+	next     func() (struct{}, bool) // resumes the kernel until its next request
 	rng      rng
 	instrs   uint64 // Work()-modelled instructions
 }
@@ -64,12 +69,19 @@ type Machine struct {
 	cfg   Config
 	cores []*core
 	hier  *hierarchy
-	opCh  chan *core
 	pq    coreHeap
 	stats Stats
 
 	allocPtr uint64
 	ran      bool
+
+	// raH is the run-ahead horizon: the packed (time<<16 | id) key of the
+	// earliest next operation among every core except the one currently
+	// executing. Ctx.exec services operations inline — without a coroutine
+	// switch — while the running core's own packed key stays below this
+	// horizon. The zero value makes every core yield its first operation
+	// to the scheduler. Only the scheduler loops update it.
+	raH uint64
 
 	// commNative caches Protocol.Spec().CommNative() so the per-operation
 	// dispatch in Ctx.comm avoids the protocol-table lock.
@@ -84,20 +96,21 @@ func New(cfg Config) *Machine {
 	}
 	m := &Machine{
 		cfg:        cfg,
-		opCh:       make(chan *core),
 		allocPtr:   1 << 20, // leave page zero unmapped
 		commNative: cfg.Protocol.Spec().CommNative(),
 	}
 	m.cores = make([]*core, cfg.Cores)
 	for i := range m.cores {
 		m.cores[i] = &core{
-			id:     i,
-			chip:   i / cfg.CoresPerChip,
-			resume: make(chan struct{}),
-			rng:    newRNG(cfg.Seed*0x9E3779B97F4A7C15 + uint64(i) + 1),
+			id:   i,
+			chip: i / cfg.CoresPerChip,
+			rng:  newRNG(cfg.Seed*0x9E3779B97F4A7C15 + uint64(i) + 1),
 		}
 	}
 	m.hier = newHierarchy(&m.cfg, &m.stats)
+	for i, c := range m.cores {
+		c.pc = m.hier.priv[i]
+	}
 	return m
 }
 
@@ -114,6 +127,12 @@ func (m *Machine) Alloc(size, align uint64) uint64 {
 	m.allocPtr = (m.allocPtr + align - 1) &^ (align - 1)
 	base := m.allocPtr
 	m.allocPtr += size
+	// The cache arrays store 31-bit hardware-style tags (line >> setBits),
+	// exact only while line addresses fit 30 bits; cap the simulated
+	// physical address space accordingly.
+	if m.allocPtr > 1<<36 {
+		panic("sim: simulated address space exceeds 64 GB")
+	}
 	return base
 }
 
@@ -137,6 +156,28 @@ func (m *Machine) ReadWord32(addr uint64) uint32 { return m.hier.store.read32(ad
 // Stats returns the collected statistics. Valid after Run.
 func (m *Machine) Stats() Stats { return m.stats }
 
+// spawn starts kernel as a coroutine on core c and runs it to its first
+// request. The kernel body executes inside the pulled iterator: Ctx.issue
+// stores the request on the core and yields, and the engine resumes the
+// core by pulling again after writing results into c.req.
+func (m *Machine) spawn(c *core, kernel func(*Ctx)) {
+	var stop func()
+	c.next, stop = iter.Pull(func(yield func(struct{}) bool) {
+		c.yield = yield
+		kernel(&Ctx{m: m, c: c})
+		c.req = request{kind: opFinish}
+	})
+	_ = stop // kernels always run to completion; the iterator exhausts itself
+	c.next()
+}
+
+// treeSchedCores is the machine size up to which the scheduler uses the
+// loser tree over packed keys instead of the pointer heap (ids fit the
+// packed key's 16-bit id field with plenty of headroom). The paper's
+// sweeps top out at 128 cores, so every registered experiment runs on
+// the tree.
+const treeSchedCores = 256
+
 // Run executes kernel once per core, each as a simulated thread, and
 // returns the collected statistics. Run may be called once per Machine.
 func (m *Machine) Run(kernel func(c *Ctx)) Stats {
@@ -145,52 +186,19 @@ func (m *Machine) Run(kernel func(c *Ctx)) Stats {
 	}
 	m.ran = true
 
+	// Spawn every core's kernel coroutine, running each to its first
+	// operation.
 	for _, c := range m.cores {
-		c := c
-		go func() {
-			ctx := &Ctx{m: m, c: c}
-			<-c.resume // wait for the engine's first handoff
-			kernel(ctx)
-			c.req = request{kind: opFinish}
-			m.opCh <- c
-		}()
+		m.spawn(c, kernel)
 	}
 
-	// Kick off every core and collect its first operation.
-	m.pq = m.pq[:0]
-	for _, c := range m.cores {
-		c.resume <- struct{}{}
-		rc := <-m.opCh
-		heap.Push(&m.pq, rc)
-	}
-
-	live := len(m.cores)
-	var barrierWait []*core
 	var end uint64
-	for live > 0 {
-		c := heap.Pop(&m.pq).(*core)
-		switch c.req.kind {
-		case opFinish:
-			live--
-			if c.time > end {
-				end = c.time
-			}
-			continue
-		case opBarrier:
-			barrierWait = append(barrierWait, c)
-			if len(barrierWait) == live {
-				m.releaseBarrier(barrierWait)
-				barrierWait = barrierWait[:0]
-			}
-			continue
-		}
-		lat := m.hier.access(c)
-		c.time += lat
-		m.step(c)
+	if len(m.cores) <= treeSchedCores {
+		end = m.runTree()
+	} else {
+		end = m.runHeap()
 	}
-	if len(barrierWait) > 0 {
-		panic("sim: deadlock — some cores finished while others wait at a barrier")
-	}
+
 	m.stats.Cycles = end
 	for _, c := range m.cores {
 		m.stats.Instrs += c.instrs
@@ -199,16 +207,190 @@ func (m *Machine) Run(kernel func(c *Ctx)) Stats {
 	return m.stats
 }
 
-// step resumes core c, waits for its next operation, and requeues it.
-func (m *Machine) step(c *core) {
-	c.resume <- struct{}{}
-	rc := <-m.opCh
-	heap.Push(&m.pq, rc)
+// notRunnable parks a core in the scheduler's key table (finished, or
+// waiting at a barrier). As a packed key it compares after every real
+// (time, id) key.
+const notRunnable = ^uint64(0)
+
+// runTree drives the simulation with a loser (tournament) tree over packed
+// (time<<16 | id) keys, one leaf per core. Picking the earliest core is a
+// root read; re-keying a serviced core replays log2(cores) matches; and the
+// run-ahead horizon — the earliest op among every other core — is the best
+// of the losers along the winner's path. The packed keys make every match a
+// single uint64 compare with the (time, id) tie-break built in. The picked
+// core is resumed with that horizon published in raT/raI, so it keeps
+// servicing its own operations inline (in Ctx.exec, with no scheduler work
+// and no coroutine switch) until it would overtake another core; a
+// single-core machine runs its whole kernel inline. It returns the maximum
+// core finish time.
+func (m *Machine) runTree() uint64 {
+	n := len(m.cores)
+	p2 := 1
+	for p2 < n {
+		p2 <<= 1
+	}
+	keys := make([]uint64, p2)
+	for i := range keys {
+		keys[i] = notRunnable
+	}
+	for i, c := range m.cores {
+		keys[i] = packKey(c.time, i)
+	}
+	// los[1..p2-1] hold the loser of each internal match; los[0] the winner.
+	los := make([]int32, max(p2, 2))
+	var build func(node int) int32
+	build = func(node int) int32 {
+		if node >= p2 {
+			return int32(node - p2)
+		}
+		a, b := build(2*node), build(2*node+1)
+		if keys[b] < keys[a] {
+			a, b = b, a
+		}
+		los[node] = b
+		return a
+	}
+	los[0] = build(1)
+
+	// update replays leaf i's matches up the tree after its key changed.
+	// Replay is only sound for the current winner's leaf (every loser
+	// stored on the winner's path came from the opposing subtree); the
+	// schedulers below re-key nothing else, and bulk re-keys (barrier
+	// release) rebuild the whole tree instead.
+	update := func(i int) {
+		w := int32(i)
+		for node := (p2 + i) >> 1; node >= 1; node >>= 1 {
+			if keys[los[node]] < keys[w] {
+				w, los[node] = los[node], w
+			}
+		}
+		los[0] = w
+	}
+
+	live := n
+	var barrierWait []*core
+	var end uint64
+	for live > 0 {
+		i1 := int(los[0])
+		c := m.cores[i1]
+		if c.req.kind == opFinish {
+			live--
+			if c.time > end {
+				end = c.time
+			}
+			keys[i1] = notRunnable
+			update(i1)
+			continue
+		}
+		if c.req.kind == opBarrier {
+			keys[i1] = notRunnable
+			update(i1)
+			barrierWait = append(barrierWait, c)
+			if len(barrierWait) == live {
+				m.releaseBarrier(barrierWait, func(w *core) {
+					keys[w.id] = packKey(w.time, w.id)
+				})
+				los[0] = build(1)
+				barrierWait = barrierWait[:0]
+			}
+			continue
+		}
+		// The horizon is the earliest key among the losers the winner beat.
+		h := notRunnable
+		for node := (p2 + i1) >> 1; node >= 1; node >>= 1 {
+			if k := keys[los[node]]; k < h {
+				h = k
+			}
+		}
+		m.raH = h
+		c.time += m.hier.access(c)
+		c.next() // the kernel run-ahead services further ops inline
+		// Re-key the winner and replay its matches (update, hand-inlined
+		// with power-of-two masks so the compiler drops the bounds checks).
+		nk := packKey(c.time, i1)
+		keys[i1] = nk
+		kmask := uint(len(keys) - 1)
+		w, kw := int32(i1), nk
+		for node := (p2 + i1) >> 1; node >= 1; node >>= 1 {
+			l := los[node]
+			kl := keys[uint(l)&kmask]
+			if kl < kw {
+				los[node] = w
+				w, kw = l, kl
+			}
+		}
+		los[0] = w
+	}
+	if len(barrierWait) > 0 {
+		panic("sim: deadlock — some cores finished while others wait at a barrier")
+	}
+	return end
+}
+
+// packKey packs a core's next-op time and id into one comparable word:
+// smaller key == earlier (time, id). Times are bounded to 2^47 cycles —
+// over a simulated day at Table-1 clock rates, far beyond any experiment —
+// so the shift cannot overflow; ids are bounded by the schedulers (≤ 256
+// cores on the tree, and the heap disables packing beyond 16-bit ids).
+func packKey(t uint64, id int) uint64 {
+	if t >= 1<<47 {
+		panic("sim: simulated time exceeds 2^47 cycles")
+	}
+	return t<<16 | uint64(id)
+}
+
+// runHeap drives the simulation with the 4-ary min-heap scheduler, used
+// beyond treeSchedCores cores. It returns the maximum core finish time.
+func (m *Machine) runHeap() uint64 {
+	// Packed horizons carry 16 id bits; on larger machines the running
+	// core's id would truncate in Ctx.exec, so inline servicing is off.
+	canPack := len(m.cores) <= 1<<16
+	m.pq.a = make([]*core, 0, len(m.cores))
+	for _, c := range m.cores {
+		m.pq.push(c)
+	}
+	live := len(m.cores)
+	var barrierWait []*core
+	var end uint64
+	for live > 0 {
+		c := m.pq.pop()
+		if c.req.kind == opFinish {
+			live--
+			if c.time > end {
+				end = c.time
+			}
+			continue
+		}
+		if c.req.kind == opBarrier {
+			barrierWait = append(barrierWait, c)
+			if len(barrierWait) == live {
+				m.releaseBarrier(barrierWait, func(w *core) { m.pq.push(w) })
+				barrierWait = barrierWait[:0]
+			}
+			continue
+		}
+		switch {
+		case !canPack:
+			m.raH = 0 // ids do not fit a packed key: no inline servicing
+		case len(m.pq.a) == 0:
+			m.raH = notRunnable
+		default:
+			m.raH = packKey(m.pq.a[0].time, m.pq.a[0].id)
+		}
+		c.time += m.hier.access(c)
+		c.next() // the kernel run-ahead services further ops inline
+		m.pq.push(c)
+	}
+	if len(barrierWait) > 0 {
+		panic("sim: deadlock — some cores finished while others wait at a barrier")
+	}
+	return end
 }
 
 // releaseBarrier aligns all waiting cores to the barrier exit time and
-// resumes them one at a time (deterministically, in core order).
-func (m *Machine) releaseBarrier(waiting []*core) {
+// resumes them one at a time (deterministically, in core order), each
+// yielding its next operation back to the scheduler via reschedule.
+func (m *Machine) releaseBarrier(waiting []*core, reschedule func(*core)) {
 	var maxT uint64
 	for _, c := range waiting {
 		if c.time > maxT {
@@ -216,36 +398,85 @@ func (m *Machine) releaseBarrier(waiting []*core) {
 		}
 	}
 	exit := maxT + m.cfg.BarrierBase + m.cfg.BarrierPerLog2Core*log2ceil(m.cfg.Cores)
-	// Deterministic release order: core id.
+	// Inline servicing is off during the release (a zero horizon fails
+	// every run-ahead check), so resumed kernels stop at their next
+	// operation and the scheduler interleaves the post-barrier ops in
+	// global time order.
+	m.raH = 0
 	for id := 0; id < len(m.cores); id++ {
 		for _, c := range waiting {
 			if c.id == id {
 				c.time = exit
-				m.step(c)
+				c.next()
+				reschedule(c)
 			}
 		}
 	}
 }
 
-// coreHeap orders cores by (next-op issue time, id).
-type coreHeap []*core
-
-func (h coreHeap) Len() int { return len(h) }
-func (h coreHeap) Less(i, j int) bool {
-	if h[i].time != h[j].time {
-		return h[i].time < h[j].time
-	}
-	return h[i].id < h[j].id
+// coreBefore is the scheduler's total order: earliest next-op time first,
+// ties broken by core id.
+func coreBefore(x, y *core) bool {
+	return x.time < y.time || (x.time == y.time && x.id < y.id)
 }
-func (h coreHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *coreHeap) Push(x interface{}) { *h = append(*h, x.(*core)) }
-func (h *coreHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	c := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
+
+// coreHeap is a hand-rolled 4-ary min-heap of cores ordered by coreBefore.
+// Compared to container/heap it avoids interface boxing and indirect
+// Less/Swap calls, and the wider nodes halve the tree depth, which matters
+// because the heap is touched up to twice per simulated memory operation.
+type coreHeap struct{ a []*core }
+
+func (h *coreHeap) push(c *core) {
+	h.a = append(h.a, c)
+	a := h.a
+	i := len(a) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !coreBefore(a[i], a[p]) {
+			break
+		}
+		a[i], a[p] = a[p], a[i]
+		i = p
+	}
+}
+
+func (h *coreHeap) pop() *core {
+	a := h.a
+	c := a[0]
+	n := len(a) - 1
+	a[0] = a[n]
+	a[n] = nil
+	h.a = a[:n]
+	if n > 1 {
+		h.siftDown(0)
+	}
 	return c
+}
+
+func (h *coreHeap) siftDown(i int) {
+	a := h.a
+	n := len(a)
+	for {
+		first := i<<2 + 1
+		if first >= n {
+			return
+		}
+		best := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for k := first + 1; k < last; k++ {
+			if coreBefore(a[k], a[best]) {
+				best = k
+			}
+		}
+		if !coreBefore(a[best], a[i]) {
+			return
+		}
+		a[i], a[best] = a[best], a[i]
+		i = best
+	}
 }
 
 // rng is a splitmix64 generator; deterministic per core.

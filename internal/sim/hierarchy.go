@@ -14,19 +14,42 @@ import (
 // reductions fold those buffers into the backing image. Nothing reads the
 // image for a line while partial updates are outstanding — the directory
 // reduces first — so eager folding on evictions is functionally exact.
-type backing struct{ lines map[uint64]*ops.Line }
+//
+// Storage is a two-level paged table: a slice of fixed-size pages with
+// lines embedded by value. Simulated allocation is dense from the 1 MB
+// base, so indexing is a shift plus one predictable bounds check — no map
+// hashing and no per-line pointer allocation on the access hot path.
+type backing struct{ pages []*backingPage }
 
-func newBacking() *backing { return &backing{lines: make(map[uint64]*ops.Line)} }
+const (
+	pageLineShift = 9                  // 512 lines per page
+	pageLineCount = 1 << pageLineShift // 32 KB of simulated memory per page
+)
 
-func (b *backing) lineOf(addr uint64) *ops.Line {
-	l := addr >> 6
-	p := b.lines[l]
-	if p == nil {
-		p = new(ops.Line)
-		b.lines[l] = p
+type backingPage [pageLineCount]ops.Line
+
+func newBacking() *backing { return &backing{} }
+
+// line returns the backing line with index l (address >> 6), materializing
+// its page on first touch.
+func (b *backing) line(l uint64) *ops.Line {
+	pi := l >> pageLineShift
+	if pi >= uint64(len(b.pages)) || b.pages[pi] == nil {
+		b.growTo(pi)
 	}
-	return p
+	return &b.pages[pi][l&(pageLineCount-1)]
 }
+
+// growTo is the cold path of line: it extends the page directory and
+// allocates page pi.
+func (b *backing) growTo(pi uint64) {
+	for uint64(len(b.pages)) <= pi {
+		b.pages = append(b.pages, nil)
+	}
+	b.pages[pi] = new(backingPage)
+}
+
+func (b *backing) lineOf(addr uint64) *ops.Line { return b.line(addr >> 6) }
 
 func (b *backing) read64(addr uint64) uint64 { return b.lineOf(addr)[(addr>>3)&7] }
 func (b *backing) write64(addr, v uint64)    { b.lineOf(addr)[(addr>>3)&7] = v }
@@ -73,14 +96,166 @@ func (d *dirLine) hasChildren() bool { return d.sharers != 0 || d.owner >= 0 }
 type bank struct {
 	busyUntil uint64
 	redBusy   uint64
-	lineBusy  map[uint64]uint64
+	lineBusy  busyTable
 }
 
-func newBank() *bank { return &bank{lineBusy: make(map[uint64]uint64)} }
+func newBank() *bank { return &bank{lineBusy: newBusyTable()} }
+
+// busyTable maps a line address to the cycle its last bank transaction
+// completes. It is an open-addressed linear-probe table (power-of-two
+// capacity, keys stored as line+1 so zero marks an empty slot): lookups on
+// the access hot path cost one multiply-hash and usually one probe, with
+// no map-hashing or bucket allocation.
+//
+// Simulation time is globally non-decreasing at service points, so an
+// entry whose busy-until cycle is ≤ the current watermark can never delay
+// another transaction again. When the table needs room it first discards
+// those expired entries and only doubles if the live set is genuinely
+// large — long sweeps touching millions of distinct lines therefore keep
+// a table sized by the *concurrently busy* lines instead of leaking an
+// entry per line ever contended (the old map grew without bound).
+type busyTable struct {
+	keys []uint64 // line+1; 0 = empty
+	vals []uint64 // busy-until cycle
+	n    int      // occupied slots
+	mask uint64
+}
+
+func newBusyTable() busyTable {
+	const initialSlots = 32
+	return busyTable{
+		keys: make([]uint64, initialSlots),
+		vals: make([]uint64, initialSlots),
+		mask: initialSlots - 1,
+	}
+}
+
+// get returns the busy-until cycle recorded for line, or 0 if none.
+func (t *busyTable) get(line uint64) uint64 {
+	k := line + 1
+	for i := mixLine(line) & t.mask; ; i = (i + 1) & t.mask {
+		switch t.keys[i] {
+		case k:
+			return t.vals[i]
+		case 0:
+			return 0
+		}
+	}
+}
+
+// put records that line's current transaction completes at until. When the
+// table gets crowded it first reclaims, in place and without allocating,
+// entries expired relative to watermark (the engine's current service
+// time), and only doubles capacity if the live set genuinely needs it.
+func (t *busyTable) put(line, until, watermark uint64) {
+	k := line + 1
+	for i := mixLine(line) & t.mask; ; i = (i + 1) & t.mask {
+		switch t.keys[i] {
+		case k:
+			t.vals[i] = until
+			return
+		case 0:
+			if 4*(t.n+1) > 3*len(t.keys) {
+				t.purge(watermark)
+				if 4*(t.n+1) > 3*len(t.keys) {
+					t.grow()
+				}
+				t.put(line, until, watermark)
+				return
+			}
+			t.keys[i] = k
+			t.vals[i] = until
+			t.n++
+			return
+		}
+	}
+}
+
+// purge deletes expired entries in place via backward-shift compaction.
+// An entry shifted from the tail of a wrapping probe cluster can land
+// behind the sweep cursor and survive one purge; that is harmless —
+// expired entries never delay a transaction, they only occupy a slot.
+func (t *busyTable) purge(watermark uint64) {
+	for i := uint64(0); i < uint64(len(t.keys)); i++ {
+		for t.keys[i] != 0 && t.vals[i] <= watermark {
+			t.deleteAt(i) // may shift another (possibly expired) entry into i
+		}
+	}
+}
+
+// deleteAt empties slot i, backward-shifting the entries of its linear-
+// probe cluster so every survivor stays reachable from its home slot.
+func (t *busyTable) deleteAt(i uint64) {
+	mask := t.mask
+	j := i
+	for {
+		t.keys[i] = 0
+		for {
+			j = (j + 1) & mask
+			if t.keys[j] == 0 {
+				t.n--
+				return
+			}
+			home := mixLine(t.keys[j]-1) & mask
+			// An entry whose home lies cyclically in (i, j] still reaches
+			// slot j after i empties; anything else must shift into i.
+			inHole := false
+			if i <= j {
+				inHole = i < home && home <= j
+			} else {
+				inHole = i < home || home <= j
+			}
+			if !inHole {
+				t.keys[i], t.vals[i] = t.keys[j], t.vals[j]
+				break
+			}
+		}
+		i = j
+	}
+}
+
+// grow doubles capacity, rehashing every remaining entry.
+func (t *busyTable) grow() {
+	slots := 2 * len(t.keys)
+	keys := make([]uint64, slots)
+	vals := make([]uint64, slots)
+	mask := uint64(slots - 1)
+	for i, k := range t.keys {
+		if k == 0 {
+			continue
+		}
+		for j := mixLine(k-1) & mask; ; j = (j + 1) & mask {
+			if keys[j] == 0 {
+				keys[j] = k
+				vals[j] = t.vals[i]
+				break
+			}
+		}
+	}
+	t.keys, t.vals, t.mask = keys, vals, mask
+}
 
 type privCache struct {
 	l1 *array[struct{}]
 	l2 *array[privLine]
+	// bufPool recycles partial-update buffers: every U grant needs an
+	// identity-initialized line buffer, and contended workloads cycle
+	// through grants constantly. Pooling keeps the steady state free of
+	// per-grant heap allocations.
+	bufPool []*ops.Line
+}
+
+// newBuf returns an identity-initialized partial-update buffer for t,
+// reusing a pooled one when available.
+func (pc *privCache) newBuf(t ops.Type) *ops.Line {
+	if n := len(pc.bufPool); n > 0 {
+		b := pc.bufPool[n-1]
+		pc.bufPool = pc.bufPool[:n-1]
+		*b = ops.IdentityLine(t)
+		return b
+	}
+	b := ops.IdentityLine(t)
+	return &b
 }
 
 type l3cache struct {
@@ -132,6 +307,11 @@ type hierarchy struct {
 	nChips int
 	hasU   bool
 	remote bool
+
+	// now is the engine's current service time (the issuing core's clock at
+	// the top of access). It is globally non-decreasing and serves as the
+	// expiry watermark for the banks' line-serialization tables.
+	now uint64
 }
 
 func newHierarchy(cfg *Config, st *Stats) *hierarchy {
@@ -206,7 +386,9 @@ func (h *hierarchy) invalRTT() uint64 { return 2*h.cfg.OnChipHop + h.cfg.L2Lat }
 // critical-path latency. It returns the operation's total latency.
 func (h *hierarchy) access(c *core) uint64 {
 	r := &c.req
+	h.now = c.time
 	h.st.Accesses++
+	var atomicOp bool // RMW, CAS and commutative updates pay AtomicOverhead
 	switch r.kind {
 	case opLoad:
 		h.st.Loads++
@@ -214,56 +396,63 @@ func (h *hierarchy) access(c *core) uint64 {
 		h.st.Stores++
 	case opRMW, opCAS:
 		h.st.Atomics++
+		atomicOp = true
 	case opComm:
 		h.st.CommUpdates++
-	}
-
-	if h.remote && r.kind == opComm {
-		return h.rmoUpdate(c)
+		atomicOp = true
+		if h.remote {
+			return h.rmoUpdate(c)
+		}
 	}
 
 	line := r.addr >> 6
-	pc := h.priv[c.id]
-	tx := txn{now: c.time}
+	pc := c.pc
 
-	// Private-cache fast path.
-	if l2s := pc.l2.lookup(line); l2s != nil && h.privSufficient(&l2s.p, r) {
+	// Private-cache fast path. Latency accounting goes straight into the
+	// global breakdown buckets — no per-transaction scratch to zero and
+	// merge on the path that serves the overwhelming majority of accesses.
+	l2s := pc.l2.lookup(line)
+	if l2s != nil && h.privSufficient(l2s, r) {
+		var lat uint64
 		if pc.l1.lookup(line) != nil {
 			h.st.L1Hits++
-			tx.adv(h.cfg.L1Lat, &tx.bd.L1)
+			lat = h.cfg.L1Lat
 		} else {
 			h.st.L2Hits++
-			tx.adv(h.cfg.L1Lat, &tx.bd.L1)
-			tx.adv(h.cfg.L2Lat, &tx.bd.L2)
+			lat = h.cfg.L1Lat + h.cfg.L2Lat
+			h.st.Breakdown.L2 += h.cfg.L2Lat
 			pc.l1.insert(line) // L1 fills silently; L2 is inclusive
 		}
-		if r.kind == opRMW || r.kind == opCAS || r.kind == opComm {
-			tx.adv(h.cfg.AtomicOverhead, &tx.bd.L1)
+		l1bd := h.cfg.L1Lat
+		if atomicOp {
+			lat += h.cfg.AtomicOverhead
+			l1bd += h.cfg.AtomicOverhead
+			if r.kind == opComm {
+				h.st.ULocalHits++ // COUP's fast path: buffered locally
+			}
 		}
-		if r.kind == opComm {
-			h.st.ULocalHits++ // COUP's fast path: buffered locally
-		}
-		h.applyPriv(c, &l2s.p, r)
-		h.st.Breakdown.add(tx.bd)
-		return tx.now - c.time
+		h.st.Breakdown.L1 += l1bd
+		h.applyPriv(c, l2s, r)
+		return lat
 	}
+	tx := txn{now: c.time}
 
-	// Miss path. First fold and drop our own insufficient copy: its partial
-	// update (U) travels with the request and is folded by the reduction the
-	// directory is about to run; a read-only copy (S) is dropped by the
-	// upgrade.
+	// Miss path. First fold and drop our own insufficient copy (l2s, found
+	// by the sufficiency lookup above): its partial update (U) travels with
+	// the request and is folded by the reduction the directory is about to
+	// run; a read-only copy (S) is dropped by the upgrade.
 	ci := c.id % h.cfg.CoresPerChip
 	ch := h.chips[c.chip]
-	if l2s := pc.l2.peek(line); l2s != nil {
-		if l2s.p.state == coh.U {
-			h.foldBufferAt(line, &l2s.p)
+	if l2s != nil {
+		if l2s.state == coh.U {
+			h.foldBufferAt(pc, line, l2s)
 		}
 		pc.l2.invalidate(line)
 		pc.l1.invalidate(line)
 		if e := ch.arr.peek(line); e != nil {
-			e.p.sharers &^= bit(ci)
-			if e.p.owner == int16(ci) {
-				e.p.owner = invalidOwner
+			e.sharers &^= bit(ci)
+			if e.owner == int16(ci) {
+				e.owner = invalidOwner
 			}
 		}
 	}
@@ -285,11 +474,10 @@ func (h *hierarchy) access(c *core) uint64 {
 
 	// Fill the private cache with the granted line and apply the operation.
 	h.fillPriv(c, line, grant, r.otype)
-	if r.kind == opRMW || r.kind == opCAS || r.kind == opComm {
+	if atomicOp {
 		tx.adv(h.cfg.AtomicOverhead, &tx.bd.L1)
 	}
-	l2s := pc.l2.peek(line)
-	h.applyPriv(c, &l2s.p, r)
+	h.applyPriv(c, pc.l2.peek(line), r)
 	h.st.Breakdown.add(tx.bd)
 	return tx.now - c.time
 }
@@ -308,24 +496,51 @@ func (h *hierarchy) privSufficient(p *privLine, r *request) bool {
 	return false
 }
 
+// word32 reads the 32-bit half of *w selected by addr bit 2.
+func word32(w uint64, addr uint64) uint32 {
+	if addr&4 != 0 {
+		return uint32(w >> 32)
+	}
+	return uint32(w)
+}
+
+// setWord32 writes the 32-bit half of *w selected by addr bit 2.
+func setWord32(w *uint64, addr uint64, v uint32) {
+	if addr&4 != 0 {
+		*w = *w&0x00000000FFFFFFFF | uint64(v)<<32
+	} else {
+		*w = *w&^uint64(0xFFFFFFFF) | uint64(v)
+	}
+}
+
 // applyPriv performs the functional effect of r against a line the private
-// cache now has sufficient permission for.
+// cache now has sufficient permission for. The backing line is resolved
+// once; read-modify-write kinds then work on the word in place instead of
+// walking the page table per half-access.
 func (h *hierarchy) applyPriv(c *core, p *privLine, r *request) {
+	if r.kind == opComm && p.state == coh.U {
+		// Buffer and coalesce locally (Sec 3.1.2).
+		w := (r.addr >> 3) & 7
+		p.buf[w] = ops.ApplyAt(r.otype, p.buf[w], uint(r.addr&7), r.val)
+		return
+	}
+	ln := h.store.lineOf(r.addr)
+	w := &ln[(r.addr>>3)&7]
 	switch r.kind {
 	case opLoad:
 		if r.width == 4 {
-			r.out = uint64(h.store.read32(r.addr))
+			r.out = uint64(word32(*w, r.addr))
 		} else {
-			r.out = h.store.read64(r.addr)
+			r.out = *w
 		}
 	case opStore:
 		if p.state == coh.E {
 			p.state = coh.M
 		}
 		if r.width == 4 {
-			h.store.write32(r.addr, uint32(r.val))
+			setWord32(w, r.addr, uint32(r.val))
 		} else {
-			h.store.write64(r.addr, r.val)
+			*w = r.val
 		}
 	case opRMW:
 		if p.state == coh.E {
@@ -333,9 +548,9 @@ func (h *hierarchy) applyPriv(c *core, p *privLine, r *request) {
 		}
 		var old uint64
 		if r.width == 4 {
-			old = uint64(h.store.read32(r.addr))
+			old = uint64(word32(*w, r.addr))
 		} else {
-			old = h.store.read64(r.addr)
+			old = *w
 		}
 		var nv uint64
 		switch r.rop {
@@ -351,9 +566,9 @@ func (h *hierarchy) applyPriv(c *core, p *privLine, r *request) {
 			nv = r.val
 		}
 		if r.width == 4 {
-			h.store.write32(r.addr, uint32(nv))
+			setWord32(w, r.addr, uint32(nv))
 		} else {
-			h.store.write64(r.addr, nv)
+			*w = nv
 		}
 		r.out = old
 	case opCAS:
@@ -362,33 +577,25 @@ func (h *hierarchy) applyPriv(c *core, p *privLine, r *request) {
 		}
 		var old uint64
 		if r.width == 4 {
-			old = uint64(h.store.read32(r.addr))
+			old = uint64(word32(*w, r.addr))
 		} else {
-			old = h.store.read64(r.addr)
+			old = *w
 		}
 		r.out = old
 		r.ok = old == r.cmp
 		if r.ok {
 			if r.width == 4 {
-				h.store.write32(r.addr, uint32(r.val))
+				setWord32(w, r.addr, uint32(r.val))
 			} else {
-				h.store.write64(r.addr, r.val)
+				*w = r.val
 			}
 		}
 	case opComm:
-		if p.state == coh.U {
-			// Buffer and coalesce locally (Sec 3.1.2).
-			w := (r.addr >> 3) & 7
-			p.buf[w] = ops.ApplyAt(r.otype, p.buf[w], uint(r.addr&7), r.val)
-			return
-		}
 		// Exclusive states apply in place.
 		if p.state == coh.E {
 			p.state = coh.M
 		}
-		w := (r.addr >> 3) & 7
-		ln := h.store.lineOf(r.addr)
-		ln[w] = ops.ApplyAt(r.otype, ln[w], uint(r.addr&7), r.val)
+		*w = ops.ApplyAt(r.otype, *w, uint(r.addr&7), r.val)
 	}
 }
 
@@ -401,11 +608,10 @@ func (h *hierarchy) fillPriv(c *core, line uint64, grant coh.State, t ops.Type) 
 		h.evictPrivLine(c, vtag, &vp)
 		pc.l1.invalidate(vtag)
 	}
-	s.p = privLine{state: grant}
+	*s = privLine{state: grant}
 	if grant == coh.U {
-		b := ops.IdentityLine(t)
-		s.p.buf = &b
-		s.p.otype = t
+		s.buf = pc.newBuf(t)
+		s.otype = t
 	}
 	pc.l1.insert(line)
 }
@@ -423,39 +629,38 @@ func (h *hierarchy) evictPrivLine(c *core, line uint64, p *privLine) {
 	}
 	switch p.state {
 	case coh.U:
-		h.foldBufferAt(line, p)
+		h.foldBufferAt(h.priv[c.id], line, p)
 		h.st.PartialReductions++
 		h.onChip(dataBytes) // partial update travels with the eviction
 		ch.bank(line).redBusy += h.cfg.ReduceCyclesPerLine
-		e.p.sharers &^= bit(ci)
+		e.sharers &^= bit(ci)
 	case coh.M:
 		h.onChip(dataBytes)
-		e.p.dirty = true
-		if e.p.owner == int16(ci) {
-			e.p.owner = invalidOwner
+		e.dirty = true
+		if e.owner == int16(ci) {
+			e.owner = invalidOwner
 		}
 	case coh.E:
 		h.onChip(ctrlBytes)
-		if e.p.owner == int16(ci) {
-			e.p.owner = invalidOwner
+		if e.owner == int16(ci) {
+			e.owner = invalidOwner
 		}
 	case coh.S:
 		h.onChip(ctrlBytes)
-		e.p.sharers &^= bit(ci)
+		e.sharers &^= bit(ci)
 	}
 }
 
-// foldBufferAt folds the partial updates of a U line into the backing image.
-func (h *hierarchy) foldBufferAt(line uint64, p *privLine) {
-	if p.buf == nil || !p.otype.IsUpdate() {
+// foldBufferAt folds the partial updates of a U line into the backing
+// image and returns the buffer to pc's pool.
+func (h *hierarchy) foldBufferAt(pc *privCache, line uint64, p *privLine) {
+	if p.buf == nil {
 		return
 	}
-	base := h.store.lines[line]
-	if base == nil {
-		base = new(ops.Line)
-		h.store.lines[line] = base
+	if p.otype.IsUpdate() {
+		ops.Reduce(p.otype, h.store.line(line), p.buf)
 	}
-	ops.Reduce(p.otype, base, p.buf)
+	pc.bufPool = append(pc.bufPool, p.buf)
 	p.buf = nil
 }
 
@@ -479,7 +684,7 @@ func (h *hierarchy) l3Access(c *core, line uint64, rq shReq, t ops.Type, tx *txn
 	ci := c.id % h.cfg.CoresPerChip
 
 	// Serialize against other transactions on this line and this bank.
-	tx.waitUntil(b.lineBusy[line], &tx.bd.L3)
+	tx.waitUntil(b.lineBusy.get(line), &tx.bd.L3)
 	tx.waitUntil(b.busyUntil, &tx.bd.L3)
 	b.busyUntil = tx.now + h.cfg.DirBankService
 	tx.adv(h.cfg.L3Lat+h.jitter(), &tx.bd.L3)
@@ -494,9 +699,9 @@ func (h *hierarchy) l3Access(c *core, line uint64, rq shReq, t ops.Type, tx *txn
 		if evicted {
 			h.evictL3Line(ch, vtag, &vp)
 		}
-		s.p = dirLine{owner: invalidOwner, cstate: cstate}
+		*s = dirLine{owner: invalidOwner, cstate: cstate}
 		e = s
-	} else if !h.chipSufficient(&e.p, rq, t) {
+	} else if !h.chipSufficient(e, rq, t) {
 		cstate := h.l4Access(c, line, rq, t, tx)
 		e = ch.arr.peek(line) // l4Access may have invalidated our entry
 		if e == nil {
@@ -504,16 +709,16 @@ func (h *hierarchy) l3Access(c *core, line uint64, rq shReq, t ops.Type, tx *txn
 			if evicted {
 				h.evictL3Line(ch, vtag, &vp)
 			}
-			s.p = dirLine{owner: invalidOwner}
+			*s = dirLine{owner: invalidOwner}
 			e = s
 		}
-		e.p.cstate = cstate
+		e.cstate = cstate
 	} else {
 		h.st.L3Hits++
 	}
 
-	grant := h.resolveInChip(c, ch, b, &e.p, line, rq, t, tx, ci)
-	b.lineBusy[line] = tx.now
+	grant := h.resolveInChip(c, ch, b, e, line, rq, t, tx, ci)
+	b.lineBusy.put(line, tx.now, h.now)
 	return grant
 }
 
@@ -628,19 +833,18 @@ func (h *hierarchy) downgradeCore(chip, ci int, line uint64, to coh.State, t ops
 		panic(fmt.Sprintf("sim: directory thinks core %d owns %#x but L2 misses", coreID, line))
 	}
 	h.st.Downgrades++
-	if s.p.state == coh.M {
+	if s.state == coh.M {
 		h.onChip(dataBytes) // dirty value written back
 	} else {
 		h.onChip(ctrlBytes)
 	}
-	s.p.state = to
+	s.state = to
 	if to == coh.U {
-		b := ops.IdentityLine(t)
-		s.p.buf = &b
-		s.p.otype = t
+		s.buf = pc.newBuf(t)
+		s.otype = t
 	} else {
-		s.p.buf = nil
-		s.p.otype = ops.Read
+		s.buf = nil
+		s.otype = ops.Read
 	}
 }
 
@@ -654,9 +858,9 @@ func (h *hierarchy) invalidateCore(chip, ci int, line uint64) {
 		panic(fmt.Sprintf("sim: directory thinks core %d holds %#x but L2 misses", coreID, line))
 	}
 	h.st.Invalidations++
-	switch s.p.state {
+	switch s.state {
 	case coh.U:
-		h.foldBufferAt(line, &s.p)
+		h.foldBufferAt(pc, line, s)
 		h.onChip(dataBytes)
 	case coh.M:
 		h.onChip(dataBytes)
@@ -721,7 +925,7 @@ func (h *hierarchy) evictL3Line(ch *l3cache, line uint64, d *dirLine) {
 	for ci := 0; ci < h.cfg.CoresPerChip; ci++ {
 		if d.sharers&bit(ci) != 0 {
 			cid := ch.chip*h.cfg.CoresPerChip + ci
-			if s := h.priv[cid].l2.peek(line); s != nil && s.p.state == coh.U {
+			if s := h.priv[cid].l2.peek(line); s != nil && s.state == coh.U {
 				nU++
 			}
 			h.invalidateCore(ch.chip, ci, line)
@@ -736,14 +940,14 @@ func (h *hierarchy) evictL3Line(ch *l3cache, line uint64, d *dirLine) {
 	if ge == nil {
 		panic(fmt.Sprintf("sim: inclusion violated — L3 line %#x missing from L4", line))
 	}
-	if ge.p.owner == int16(ch.chip) {
-		ge.p.owner = invalidOwner
-		ge.p.dirty = true
+	if ge.owner == int16(ch.chip) {
+		ge.owner = invalidOwner
+		ge.dirty = true
 	}
-	ge.p.sharers &^= bit(ch.chip)
+	ge.sharers &^= bit(ch.chip)
 	if d.dirty || d.cstate == coh.U {
 		h.offChip(dataBytes)
-		ge.p.dirty = true
+		ge.dirty = true
 	} else {
 		h.offChip(ctrlBytes)
 	}
@@ -758,7 +962,7 @@ func (h *hierarchy) l4Access(c *core, line uint64, rq shReq, t ops.Type, tx *txn
 	p := c.chip
 
 	tx.adv(2*h.cfg.LinkLat, &tx.bd.Net) // request + reply link traversals
-	tx.waitUntil(b.lineBusy[line], &tx.bd.L4Inval)
+	tx.waitUntil(b.lineBusy.get(line), &tx.bd.L4Inval)
 	tx.waitUntil(b.busyUntil, &tx.bd.L4)
 	b.busyUntil = tx.now + h.cfg.DirBankService
 	tx.adv(h.cfg.L4Lat+h.jitter(), &tx.bd.L4)
@@ -778,15 +982,15 @@ func (h *hierarchy) l4Access(c *core, line uint64, rq shReq, t ops.Type, tx *txn
 		if evicted {
 			h.evictL4Line(vtag, &vp)
 		}
-		s.p = dirLine{owner: invalidOwner}
+		*s = dirLine{owner: invalidOwner}
 		ge = s
 	} else {
 		h.st.L4Hits++
 	}
 
-	d := &ge.p
+	d := ge
 	grant := h.resolveGlobal(p, d, line, rq, t, tx)
-	b.lineBusy[line] = tx.now
+	b.lineBusy.put(line, tx.now, h.now)
 	h.offChip(dataBytes) // grant reply (data or permission+identity metadata)
 	return grant
 }
@@ -884,7 +1088,7 @@ func (h *hierarchy) downgradeChip(q int, line uint64, to coh.State, t ops.Type, 
 	if e == nil {
 		panic(fmt.Sprintf("sim: L4 thinks chip %d owns %#x but L3 misses", q, line))
 	}
-	d := &e.p
+	d := e
 	newType := ops.Read
 	if to == coh.U {
 		newType = t
@@ -926,21 +1130,21 @@ func (h *hierarchy) invalidateChip(q int, line uint64, tx *txn) uint64 {
 		panic(fmt.Sprintf("sim: L4 thinks chip %d holds %#x but L3 misses", q, line))
 	}
 	cost := 2 * h.cfg.LinkLat
-	if e.p.owner >= 0 {
-		h.invalidateCore(q, int(e.p.owner), line)
+	if e.owner >= 0 {
+		h.invalidateCore(q, int(e.owner), line)
 		cost += h.invalRTT()
 	}
 	nU := 0
 	for ci := 0; ci < h.cfg.CoresPerChip; ci++ {
-		if e.p.sharers&bit(ci) != 0 {
+		if e.sharers&bit(ci) != 0 {
 			cid := q*h.cfg.CoresPerChip + ci
-			if s := h.priv[cid].l2.peek(line); s != nil && s.p.state == coh.U {
+			if s := h.priv[cid].l2.peek(line); s != nil && s.state == coh.U {
 				nU++
 			}
 			h.invalidateCore(q, ci, line)
 		}
 	}
-	if e.p.sharers != 0 {
+	if e.sharers != 0 {
 		cost += h.invalRTT()
 	}
 	if nU > 0 {
@@ -948,7 +1152,7 @@ func (h *hierarchy) invalidateChip(q int, line uint64, tx *txn) uint64 {
 		// cores' partials before one response crosses the link (Sec 3.2).
 		cost += h.cfg.ReduceLatency + uint64(nU)*h.cfg.ReduceCyclesPerLine
 	}
-	dirty := e.p.dirty || e.p.cstate == coh.U || nU > 0
+	dirty := e.dirty || e.cstate == coh.U || nU > 0
 	ch.arr.invalidate(line)
 	h.st.Invalidations++
 	if dirty {
@@ -1090,16 +1294,16 @@ func (h *hierarchy) rmoUpdate(c *core) uint64 {
 		pc.l1.invalidate(line)
 		if e := h.chips[c.chip].arr.peek(line); e != nil {
 			ci := c.id % h.cfg.CoresPerChip
-			e.p.sharers &^= bit(ci)
-			if e.p.owner == int16(ci) {
-				e.p.owner = invalidOwner
+			e.sharers &^= bit(ci)
+			if e.owner == int16(ci) {
+				e.owner = invalidOwner
 			}
 		}
 	}
 
 	b := h.l4.bank(line)
 	tx.adv(2*h.cfg.LinkLat, &tx.bd.Net)
-	tx.waitUntil(b.lineBusy[line], &tx.bd.L4Inval)
+	tx.waitUntil(b.lineBusy.get(line), &tx.bd.L4Inval)
 	tx.waitUntil(b.busyUntil, &tx.bd.L4)
 	b.busyUntil = tx.now + h.cfg.DirBankService
 	tx.adv(h.cfg.L4Lat, &tx.bd.L4)
@@ -1112,17 +1316,17 @@ func (h *hierarchy) rmoUpdate(c *core) uint64 {
 		if evicted {
 			h.evictL4Line(vtag, &vp)
 		}
-		s.p = dirLine{owner: invalidOwner}
+		*s = dirLine{owner: invalidOwner}
 		ge = s
-	} else if ge.p.hasChildren() {
+	} else if ge.hasChildren() {
 		// Invalidate cached copies so the remote ALU operates on the only
 		// valid version.
-		if ge.p.owner >= 0 {
-			h.invalidateChip(int(ge.p.owner), line, &tx)
-			ge.p.owner = invalidOwner
+		if ge.owner >= 0 {
+			h.invalidateChip(int(ge.owner), line, &tx)
+			ge.owner = invalidOwner
 		}
-		h.invalidateGlobalSharers(&ge.p, line, -1, &tx)
-		ge.p.sharers = 0
+		h.invalidateGlobalSharers(ge, line, -1, &tx)
+		ge.sharers = 0
 	}
 	// Remote ALU occupancy: this is the hotspot RMOs suffer from.
 	if b.redBusy > tx.now {
@@ -1130,12 +1334,12 @@ func (h *hierarchy) rmoUpdate(c *core) uint64 {
 	}
 	tx.adv(2, &tx.bd.L4)
 	b.redBusy = tx.now
-	ge.p.dirty = true
+	ge.dirty = true
 
 	w := (r.addr >> 3) & 7
 	ln := h.store.lineOf(r.addr)
 	ln[w] = ops.ApplyAt(r.otype, ln[w], uint(r.addr&7), r.val)
-	b.lineBusy[line] = tx.now
+	b.lineBusy.put(line, tx.now, h.now)
 
 	h.st.Breakdown.add(tx.bd)
 	return tx.now - c.time
@@ -1148,11 +1352,10 @@ func (h *hierarchy) drain() {
 	for _, pc := range h.priv {
 		pc.l2.forEach(func(tag uint64, p *privLine) {
 			if p.state == coh.U && p.buf != nil {
-				h.foldBufferAt(tag, p)
+				h.foldBufferAt(pc, tag, p)
 				// Keep the line resident in U with a fresh identity buffer so
 				// structural invariants still hold after draining.
-				b := ops.IdentityLine(p.otype)
-				p.buf = &b
+				p.buf = pc.newBuf(p.otype)
 			}
 		})
 	}
@@ -1178,16 +1381,16 @@ func (h *hierarchy) checkInvariants() error {
 			}
 			switch p.state {
 			case coh.M, coh.E:
-				if e.p.owner != int16(ci) {
-					err = fmt.Errorf("core %d holds %#x in %v but dir owner=%d", cid, tag, p.state, e.p.owner)
+				if e.owner != int16(ci) {
+					err = fmt.Errorf("core %d holds %#x in %v but dir owner=%d", cid, tag, p.state, e.owner)
 				}
 			case coh.S:
-				if e.p.sharers&bit(ci) == 0 || e.p.otype.IsUpdate() {
-					err = fmt.Errorf("core %d holds %#x in S but dir sharers=%#x type=%v", cid, tag, e.p.sharers, e.p.otype)
+				if e.sharers&bit(ci) == 0 || e.otype.IsUpdate() {
+					err = fmt.Errorf("core %d holds %#x in S but dir sharers=%#x type=%v", cid, tag, e.sharers, e.otype)
 				}
 			case coh.U:
-				if e.p.sharers&bit(ci) == 0 || e.p.otype != p.otype {
-					err = fmt.Errorf("core %d holds %#x in U(%v) but dir sharers=%#x type=%v", cid, tag, p.otype, e.p.sharers, e.p.otype)
+				if e.sharers&bit(ci) == 0 || e.otype != p.otype {
+					err = fmt.Errorf("core %d holds %#x in U(%v) but dir sharers=%#x type=%v", cid, tag, p.otype, e.sharers, e.otype)
 				}
 				if p.buf == nil {
 					err = fmt.Errorf("core %d U line %#x has no buffer", cid, tag)
@@ -1213,12 +1416,12 @@ func (h *hierarchy) checkInvariants() error {
 			}
 			switch d.cstate {
 			case coh.M, coh.E:
-				if ge.p.owner != int16(q) {
-					err = fmt.Errorf("chip %d exclusive on %#x but L4 owner=%d", q, tag, ge.p.owner)
+				if ge.owner != int16(q) {
+					err = fmt.Errorf("chip %d exclusive on %#x but L4 owner=%d", q, tag, ge.owner)
 				}
 			case coh.S, coh.U:
-				if ge.p.sharers&bit(q) == 0 {
-					err = fmt.Errorf("chip %d shares %#x but L4 sharers=%#x", q, tag, ge.p.sharers)
+				if ge.sharers&bit(q) == 0 {
+					err = fmt.Errorf("chip %d shares %#x but L4 sharers=%#x", q, tag, ge.sharers)
 				}
 			}
 			// Exclusivity within the chip.

@@ -553,9 +553,9 @@ func TestArrayLRU(t *testing.T) {
 	if ev {
 		t.Fatal("no eviction expected")
 	}
-	s0.p = 10
+	*s0 = 10
 	s2, _, _, _ := a.insert(2)
-	s2.p = 20
+	*s2 = 20
 	a.lookup(0) // touch 0: now 2 is LRU
 	_, vt, vp, ev := a.insert(4)
 	if !ev || vt != 2 || vp != 20 {
