@@ -11,6 +11,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/stats"
 	"repro/pkg/coup"
@@ -174,18 +175,42 @@ func (g *grid) add(mk func() coup.Workload, cores int, proto string, extra ...co
 	return pt
 }
 
+// sweepers caches one Sweeper per parallelism degree for the whole
+// process, so the per-worker machine arenas stay warm across grids AND
+// across experiments: a "-exp all" run rebuilds each machine geometry
+// once per worker, not once per experiment. Sweepers are not safe for
+// concurrent Run calls, so sweeperMu serializes sweeps — experiments are
+// sequential in every harness (coupbench, the root benchmarks), making
+// the lock uncontended in practice.
+var (
+	sweeperMu sync.Mutex
+	sweepers  = map[int]*coup.Sweeper{}
+)
+
+func sharedSweep(parallel int, specs []coup.RunSpec) []coup.SweepResult {
+	sweeperMu.Lock()
+	defer sweeperMu.Unlock()
+	s, ok := sweepers[parallel]
+	if !ok {
+		var sopts []coup.SweepOption
+		if parallel > 0 {
+			sopts = append(sopts, coup.WithParallelism(parallel))
+		}
+		var err error
+		s, err = coup.NewSweeper(sopts...)
+		if err != nil {
+			panic(fmt.Sprintf("exp: sweep: %v", err))
+		}
+		sweepers[parallel] = s
+	}
+	return s.Run(specs)
+}
+
 // run fans the accumulated specs out across the worker pool and aggregates
 // per point. It panics on any failed run (an experiment must not silently
 // report results from a broken run).
 func (g *grid) run() {
-	var sopts []coup.SweepOption
-	if g.p.Parallel > 0 {
-		sopts = append(sopts, coup.WithParallelism(g.p.Parallel))
-	}
-	results, err := coup.Sweep(g.specs, sopts...)
-	if err != nil {
-		panic(fmt.Sprintf("exp: sweep: %v", err))
-	}
+	results := sharedSweep(g.p.Parallel, g.specs)
 	for i, res := range results {
 		if res.Err != nil {
 			panic(fmt.Sprintf("exp: sweep spec %d of %d: %v", i, len(results), res.Err))

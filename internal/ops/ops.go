@@ -210,7 +210,9 @@ func ApplyAt(t Type, word uint64, off uint, v uint64) uint64 {
 	if w == 0 {
 		return word
 	}
-	if int(off)%w != 0 || int(off)+w > 8 {
+	// Width is always a power of two here (2, 4 or 8), so alignment is a
+	// mask test — this sits on the simulator's hottest per-update path.
+	if off&uint(w-1) != 0 || int(off)+w > 8 {
 		panic(fmt.Sprintf("ops: misaligned %s update at offset %d", t, off))
 	}
 	sh := off * 8

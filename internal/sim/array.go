@@ -131,10 +131,10 @@ func (a *array[P]) peek(line uint64) *P {
 }
 
 // insert allocates a way for line, evicting the LRU way if the set is
-// full. It returns the new way's payload (zero value) plus the victim's
-// tag and payload if an eviction occurred. The caller must not insert a
-// line that is already present.
-func (a *array[P]) insert(line uint64) (p *P, victimTag uint64, victim P, evicted bool) {
+// full. It returns the new way's payload (zero value) and way index, plus
+// the victim's tag and payload if an eviction occurred. The caller must
+// not insert a line that is already present.
+func (a *array[P]) insert(line uint64) (p *P, victimTag uint64, victim P, evicted bool, way uint8) {
 	pg, base := a.setAt(line)
 	vi, vlru := -1, ^uint64(0)
 	for w := 0; w < a.ways; w++ {
@@ -159,10 +159,13 @@ func (a *array[P]) insert(line uint64) (p *P, victimTag uint64, victim P, evicte
 	pg.tags[i] = uint32(line>>a.setBits) | validBit
 	pg.lru[i] = a.tick
 	pg.pay[i] = zero
-	return &pg.pay[i], victimTag, victim, evicted
+	return &pg.pay[i], victimTag, victim, evicted, uint8(vi)
 }
 
-// invalidate removes line from the array if present.
+// invalidate removes line from the array if present. The tick bump marks
+// the mutation so outstanding slot handles (see probe) notice the set may
+// have changed; it never reorders LRU decisions, because stored stamps are
+// untouched and future stamps only grow.
 func (a *array[P]) invalidate(line uint64) {
 	pg, base := a.setAt(line)
 	key := uint32(line>>a.setBits) | validBit
@@ -172,9 +175,190 @@ func (a *array[P]) invalidate(line uint64) {
 			pg.tags[base+uint64(w)] = 0
 			pg.lru[base+uint64(w)] = 0
 			pg.pay[base+uint64(w)] = zero
+			a.tick++
 			return
 		}
 	}
+}
+
+// slotRef is a handle to one way of an array, captured by probe or
+// peekSlot and consumed together with the same line address. It stays
+// valid — the payload pointer and the staged victim choice remain exact —
+// until the array's tick changes (any hit, insert or invalidate);
+// consumers re-check the tick and fall back to a fresh scan when it
+// moved, so a stale handle can never change behaviour, only cost.
+//
+// The handle is one packed word so the hot paths that produce one but
+// rarely use it (every private-cache probe) pay a single register, not a
+// struct spill: [tick:32][slot:16][way:8][flags:8]. Slot indices fit 16
+// bits because pages hold at most eagerSlots (4096) slots; the truncated
+// tick is compared for equality only, and wrapping exactly 2^32 ticks
+// inside one directory transaction is impossible.
+type slotRef = uint64
+
+const (
+	slotHit   = 1 << 0 // the handle names line's own way
+	slotEvict = 1 << 1 // staged miss in a full set: way holds the LRU victim
+)
+
+func packSlot(tick, idx uint64, way uint8, flags uint8) slotRef {
+	return uint64(uint32(tick))<<32 | idx<<16 | uint64(way)<<8 | uint64(flags)
+}
+
+func (a *array[P]) slotCurrent(h slotRef) bool { return uint32(h>>32) == uint32(a.tick) }
+
+func slotIdx(h slotRef) uint64 { return (h >> 16) & 0xFFFF }
+
+// slotWay returns the way index recorded in a probe/peekSlot handle.
+func slotWay(h slotRef) uint8 { return uint8(h >> 8) }
+
+// wayUnknown marks a hint whose way index was not tracked; any
+// out-of-range way simply fails peekAt's tag check, so unknown hints are
+// safe everywhere a hint is.
+const wayUnknown = ^uint8(0)
+
+// probe scans line's set once, fusing lookup with the victim choice insert
+// would otherwise rescan for. On a hit it behaves exactly like lookup (LRU
+// touch) and returns the payload plus a handle to the hit way; on a miss
+// it returns nil plus a handle staging the insertion — the way a fresh
+// insert would choose — which commit turns into the actual insert without
+// rescanning the tags. The hit path pays only a first-empty-way test over
+// lookup; LRU stamps are consulted only for a miss in a full set, where
+// insert would have read them anyway.
+func (a *array[P]) probe(line uint64) (*P, slotRef) {
+	pg, base := a.setAt(line)
+	key := uint32(line>>a.setBits) | validBit
+	tags := pg.tags[base : base+uint64(a.ways)]
+	empty := -1
+	for w := range tags {
+		t := tags[w]
+		if t == key {
+			i := base + uint64(w)
+			a.tick++
+			pg.lru[i] = a.tick
+			return &pg.pay[i], packSlot(a.tick, i, uint8(w), slotHit)
+		}
+		if empty < 0 && t&validBit == 0 {
+			empty = w
+		}
+	}
+	if empty >= 0 {
+		return nil, packSlot(a.tick, base+uint64(empty), uint8(empty), 0)
+	}
+	// Full set: pick the LRU way, exactly as insert would.
+	lru := pg.lru[base : base+uint64(a.ways)]
+	vi, vlru := 0, lru[0]
+	for w := 1; w < len(lru); w++ {
+		if s := lru[w]; s < vlru {
+			vi, vlru = w, s
+		}
+	}
+	return nil, packSlot(a.tick, base+uint64(vi), uint8(vi), slotEvict)
+}
+
+// commit completes the insertion staged by a missing probe of line. While
+// the array is untouched since the probe (the common case) it fills the
+// staged way directly; otherwise it falls back to a full insert, so the
+// result is always identical to calling insert fresh.
+func (a *array[P]) commit(line uint64, h slotRef) (p *P, victimTag uint64, victim P, evicted bool, way uint8) {
+	if h&slotHit != 0 || !a.slotCurrent(h) {
+		return a.insert(line)
+	}
+	pg, _ := a.setAt(line)
+	i := slotIdx(h)
+	if h&slotEvict != 0 {
+		victimTag = uint64(pg.tags[i]&^validBit)<<a.setBits | (line & a.setMask)
+		victim = pg.pay[i]
+		evicted = true
+	}
+	a.tick++
+	var zero P
+	pg.tags[i] = uint32(line>>a.setBits) | validBit
+	pg.lru[i] = a.tick
+	pg.pay[i] = zero
+	return &pg.pay[i], victimTag, victim, evicted, slotWay(h)
+}
+
+// revalidate re-derives the payload pointer of a hit handle for line:
+// nearly free while the array is untouched, one peek otherwise.
+// Missing-probe handles (and lines invalidated since) return nil, like
+// peek.
+func (a *array[P]) revalidate(line uint64, h slotRef) *P {
+	if h&slotHit != 0 && a.slotCurrent(h) {
+		pg, _ := a.setAt(line)
+		return &pg.pay[slotIdx(h)]
+	}
+	return a.peek(line)
+}
+
+// peekAt returns the payload of the way holding line when the hinted way
+// index still does, falling back to a full peek otherwise. Hints are
+// best-effort: the tag comparison validates them exactly (a set holds at
+// most one way per line), so stale or unknown hints cost one extra scan
+// and can never change the result.
+func (a *array[P]) peekAt(line uint64, way uint8) *P {
+	if uint64(way) < uint64(a.ways) {
+		pg, base := a.setAt(line)
+		i := base + uint64(way)
+		if pg.tags[i] == uint32(line>>a.setBits)|validBit {
+			return &pg.pay[i]
+		}
+	}
+	return a.peek(line)
+}
+
+// peekSlot is peek returning a handle to the hit way, so a following
+// invalidateAt avoids rescanning the set.
+func (a *array[P]) peekSlot(line uint64) (*P, slotRef) {
+	pg, base := a.setAt(line)
+	key := uint32(line>>a.setBits) | validBit
+	tags := pg.tags[base : base+uint64(a.ways)]
+	for w := range tags {
+		if tags[w] == key {
+			i := base + uint64(w)
+			return &pg.pay[i], packSlot(a.tick, i, uint8(w), slotHit)
+		}
+	}
+	return nil, 0
+}
+
+// invalidateAt removes line, which the handle points at, without
+// rescanning the set while the handle is still current.
+func (a *array[P]) invalidateAt(line uint64, h slotRef) {
+	if h&slotHit == 0 {
+		return
+	}
+	if !a.slotCurrent(h) {
+		a.invalidate(line)
+		return
+	}
+	pg, _ := a.setAt(line)
+	i := slotIdx(h)
+	var zero P
+	pg.tags[i] = 0
+	pg.lru[i] = 0
+	pg.pay[i] = zero
+	a.tick++
+}
+
+// reset returns the array to its post-newArray state while keeping every
+// allocated page for reuse (the arena's zero-on-reuse contract). Only
+// occupied ways need clearing: insert and invalidate maintain the
+// invariant that an empty way's tag, LRU stamp and payload are all zero,
+// so the sweep reads one tag word per slot and writes only live ones.
+func (a *array[P]) reset() {
+	var zero P
+	for pi := range a.pages {
+		pg := &a.pages[pi]
+		for i, t := range pg.tags {
+			if t != 0 {
+				pg.tags[i] = 0
+				pg.lru[i] = 0
+				pg.pay[i] = zero
+			}
+		}
+	}
+	a.tick = 0
 }
 
 // contains reports presence without touching LRU.

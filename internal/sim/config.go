@@ -233,6 +233,11 @@ type Config struct {
 	// real capacities keeps the key working sets — histograms, bitmaps,
 	// counter pools — in the same fits-in-L2/L3 regimes as the paper even
 	// though input streams are scaled down.
+	//
+	// Together with Cores/CoresPerChip and the bank/channel counts below,
+	// these fields form the geometry key an Arena pools machines under
+	// (see arena.go): two configs differing only in protocol, latencies,
+	// seed or jitter recycle the same machine.
 	L1Size, L1Ways   int // 32 KB, 8-way
 	L2Size, L2Ways   int // 256 KB, 8-way
 	L3Size, L3Ways   int // per chip; 32 MB, 16-way, 8 banks

@@ -75,6 +75,17 @@ type Machine struct {
 	allocPtr uint64
 	ran      bool
 
+	// arena/shape link a machine built by NewIn back to its pool; released
+	// guards against double Release. Scheduler scratch (treeKeys, treeLos,
+	// barrier) is owned by the machine so recycled machines run without
+	// per-Run allocations.
+	arena    *Arena
+	shape    machineShape
+	released bool
+	treeKeys []uint64
+	treeLos  []int32
+	barrier  []*core
+
 	// raH is the run-ahead horizon: the packed (time<<16 | id) key of the
 	// earliest next operation among every core except the one currently
 	// executing. Ctx.exec services operations inline — without a coroutine
@@ -229,7 +240,11 @@ func (m *Machine) runTree() uint64 {
 	for p2 < n {
 		p2 <<= 1
 	}
-	keys := make([]uint64, p2)
+	if cap(m.treeKeys) < p2 {
+		m.treeKeys = make([]uint64, p2)
+		m.treeLos = make([]int32, max(p2, 2))
+	}
+	keys := m.treeKeys[:p2]
 	for i := range keys {
 		keys[i] = notRunnable
 	}
@@ -237,7 +252,7 @@ func (m *Machine) runTree() uint64 {
 		keys[i] = packKey(c.time, i)
 	}
 	// los[1..p2-1] hold the loser of each internal match; los[0] the winner.
-	los := make([]int32, max(p2, 2))
+	los := m.treeLos[:max(p2, 2)]
 	var build func(node int) int32
 	build = func(node int) int32 {
 		if node >= p2 {
@@ -268,7 +283,7 @@ func (m *Machine) runTree() uint64 {
 	}
 
 	live := n
-	var barrierWait []*core
+	barrierWait := m.barrier[:0]
 	var end uint64
 	for live > 0 {
 		i1 := int(los[0])
@@ -295,25 +310,36 @@ func (m *Machine) runTree() uint64 {
 			}
 			continue
 		}
-		// The horizon is the earliest key among the losers the winner beat.
+		// Record the winner's path once: the losers and their keys feed both
+		// the horizon (their minimum) and, after the service, the match
+		// replay — nothing else can re-key a leaf in between, so the replay
+		// reuses the recorded keys instead of re-walking the key table.
+		// Path length is log2(p2) <= 8 (treeSchedCores == 256).
+		var pathLos [8]int32
+		var pathKeys [8]uint64
 		h := notRunnable
+		d := 0
 		for node := (p2 + i1) >> 1; node >= 1; node >>= 1 {
-			if k := keys[los[node]]; k < h {
+			l := los[node]
+			k := keys[l]
+			pathLos[d&7], pathKeys[d&7] = l, k
+			d++
+			if k < h {
 				h = k
 			}
 		}
 		m.raH = h
 		c.time += m.hier.access(c)
 		c.next() // the kernel run-ahead services further ops inline
-		// Re-key the winner and replay its matches (update, hand-inlined
-		// with power-of-two masks so the compiler drops the bounds checks).
+		// Re-key the winner and replay its matches against the recorded
+		// path losers.
 		nk := packKey(c.time, i1)
 		keys[i1] = nk
-		kmask := uint(len(keys) - 1)
 		w, kw := int32(i1), nk
+		d = 0
 		for node := (p2 + i1) >> 1; node >= 1; node >>= 1 {
-			l := los[node]
-			kl := keys[uint(l)&kmask]
+			l, kl := pathLos[d&7], pathKeys[d&7]
+			d++
 			if kl < kw {
 				los[node] = w
 				w, kw = l, kl
@@ -324,6 +350,7 @@ func (m *Machine) runTree() uint64 {
 	if len(barrierWait) > 0 {
 		panic("sim: deadlock — some cores finished while others wait at a barrier")
 	}
+	m.barrier = barrierWait[:0]
 	return end
 }
 
@@ -345,12 +372,16 @@ func (m *Machine) runHeap() uint64 {
 	// Packed horizons carry 16 id bits; on larger machines the running
 	// core's id would truncate in Ctx.exec, so inline servicing is off.
 	canPack := len(m.cores) <= 1<<16
-	m.pq.a = make([]*core, 0, len(m.cores))
+	if cap(m.pq.a) < len(m.cores) {
+		m.pq.a = make([]*core, 0, len(m.cores))
+	} else {
+		m.pq.a = m.pq.a[:0]
+	}
 	for _, c := range m.cores {
 		m.pq.push(c)
 	}
 	live := len(m.cores)
-	var barrierWait []*core
+	barrierWait := m.barrier[:0]
 	var end uint64
 	for live > 0 {
 		c := m.pq.pop()
@@ -384,6 +415,7 @@ func (m *Machine) runHeap() uint64 {
 	if len(barrierWait) > 0 {
 		panic("sim: deadlock — some cores finished while others wait at a barrier")
 	}
+	m.barrier = barrierWait[:0]
 	return end
 }
 

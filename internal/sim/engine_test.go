@@ -127,7 +127,7 @@ func TestArrayLazyEvictTagRoundTrip(t *testing.T) {
 	base := uint64(0x3F00_0000) >> 6  // a large line address
 	base -= base & a.setMask          // align to set 0
 	for k := uint64(0); k < 17; k++ { // 17 lines, same set, 16 ways
-		p, vtag, vp, evicted := a.insert(base + k*sets)
+		p, vtag, vp, evicted, _ := a.insert(base + k*sets)
 		*p = int(k)
 		if k < 16 && evicted {
 			t.Fatalf("unexpected eviction at insert %d", k)

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"math/bits"
 
 	coh "repro/internal/core"
 	"repro/internal/ops"
@@ -19,7 +20,14 @@ import (
 // lines embedded by value. Simulated allocation is dense from the 1 MB
 // base, so indexing is a shift plus one predictable bounds check — no map
 // hashing and no per-line pointer allocation on the access hot path.
-type backing struct{ pages []*backingPage }
+type backing struct {
+	pages []*backingPage
+	// One-entry page cache: workloads stream lines sequentially, so the
+	// vast majority of accesses land on the page of the previous one.
+	// lastIdx is offset by one so the zero value never aliases page 0.
+	lastIdx  uint64
+	lastPage *backingPage
+}
 
 const (
 	pageLineShift = 9                  // 512 lines per page
@@ -34,9 +42,14 @@ func newBacking() *backing { return &backing{} }
 // its page on first touch.
 func (b *backing) line(l uint64) *ops.Line {
 	pi := l >> pageLineShift
+	if pi+1 == b.lastIdx {
+		return &b.lastPage[l&(pageLineCount-1)]
+	}
 	if pi >= uint64(len(b.pages)) || b.pages[pi] == nil {
 		b.growTo(pi)
 	}
+	b.lastIdx = pi + 1
+	b.lastPage = b.pages[pi]
 	return &b.pages[pi][l&(pageLineCount-1)]
 }
 
@@ -70,11 +83,16 @@ func (b *backing) write32(addr uint64, v uint32) {
 	}
 }
 
-// privLine is the coherence payload of a private (L2) cache line.
+// privLine is the coherence payload of a private (L2) cache line. dirWay
+// remembers which way of the L3 set held the line's directory entry when
+// the line was filled — a best-effort hint (validated by tag on use, see
+// array.peekAt) that lets the eviction path find the entry without a
+// 16-way scan. It fits the struct's existing padding, costing nothing.
 type privLine struct {
-	state coh.State
-	otype ops.Type  // operation type when state == U
-	buf   *ops.Line // partial updates when state == U
+	state  coh.State
+	otype  ops.Type // operation type when state == U
+	dirWay uint8
+	buf    *ops.Line // partial updates when state == U
 }
 
 // dirLine is the payload of an L3/L4 in-cache-directory entry. At the L3 it
@@ -119,6 +137,7 @@ type busyTable struct {
 	vals []uint64 // busy-until cycle
 	n    int      // occupied slots
 	mask uint64
+	gen  uint64 // bumped whenever slots move (insert/purge/grow/reset)
 }
 
 func newBusyTable() busyTable {
@@ -143,6 +162,40 @@ func (t *busyTable) get(line uint64) uint64 {
 	}
 }
 
+// busySlot is getSlot's handle: the slot where line was found, valid while
+// the table's generation is unchanged.
+type busySlot struct {
+	idx     uint64
+	gen     uint64
+	present bool
+}
+
+// getSlot is get returning a handle that putAt can use to update the same
+// entry without a second probe. Each bank transaction reads a line's
+// busy-until on entry and writes the same line's on exit; fusing the pair
+// halves the table probes on the miss path.
+func (t *busyTable) getSlot(line uint64) (uint64, busySlot) {
+	k := line + 1
+	for i := mixLine(line) & t.mask; ; i = (i + 1) & t.mask {
+		switch t.keys[i] {
+		case k:
+			return t.vals[i], busySlot{idx: i, gen: t.gen, present: true}
+		case 0:
+			return 0, busySlot{}
+		}
+	}
+}
+
+// putAt is put for the line s was probed at. While the table's slots have
+// not moved since (same generation), an existing entry updates in place.
+func (t *busyTable) putAt(s busySlot, line, until, watermark uint64) {
+	if s.present && s.gen == t.gen {
+		t.vals[s.idx] = until
+		return
+	}
+	t.put(line, until, watermark)
+}
+
 // put records that line's current transaction completes at until. When the
 // table gets crowded it first reclaims, in place and without allocating,
 // entries expired relative to watermark (the engine's current service
@@ -157,7 +210,12 @@ func (t *busyTable) put(line, until, watermark uint64) {
 		case 0:
 			if 4*(t.n+1) > 3*len(t.keys) {
 				t.purge(watermark)
-				if 4*(t.n+1) > 3*len(t.keys) {
+				// Purges that reclaim only a sliver leave the table on the
+				// edge of the load threshold, triggering an O(capacity) purge
+				// walk every few puts; demand real headroom (<=5/8 live)
+				// before trusting the purge, else double. Capacity never
+				// affects lookup results, only walk frequency.
+				if 8*(t.n+1) > 5*len(t.keys) {
 					t.grow()
 				}
 				t.put(line, until, watermark)
@@ -166,6 +224,7 @@ func (t *busyTable) put(line, until, watermark uint64) {
 			t.keys[i] = k
 			t.vals[i] = until
 			t.n++
+			t.gen++
 			return
 		}
 	}
@@ -186,6 +245,7 @@ func (t *busyTable) purge(watermark uint64) {
 // deleteAt empties slot i, backward-shifting the entries of its linear-
 // probe cluster so every survivor stays reachable from its home slot.
 func (t *busyTable) deleteAt(i uint64) {
+	t.gen++
 	mask := t.mask
 	j := i
 	for {
@@ -233,6 +293,7 @@ func (t *busyTable) grow() {
 		}
 	}
 	t.keys, t.vals, t.mask = keys, vals, mask
+	t.gen++
 }
 
 type privCache struct {
@@ -259,22 +320,49 @@ func (pc *privCache) newBuf(t ops.Type) *ops.Line {
 }
 
 type l3cache struct {
-	chip  int
-	arr   *array[dirLine]
-	banks []*bank
+	chip     int
+	arr      *array[dirLine]
+	banks    []*bank
+	bankMask int // len(banks)-1 when a power of two, else -1 (modulo path)
 }
 
-func (l *l3cache) bank(line uint64) *bank { return l.banks[mixLine(line)%uint64(len(l.banks))] }
+func (l *l3cache) bank(line uint64) *bank {
+	if l.bankMask >= 0 {
+		return l.banks[mixLine(line)&uint64(l.bankMask)]
+	}
+	return l.banks[mixLine(line)%uint64(len(l.banks))]
+}
 
 type l4cache struct {
-	arr   *array[dirLine]
-	banks []*bank
-	chans []uint64 // per-DRAM-channel busy-until
+	arr      *array[dirLine]
+	banks    []*bank
+	chans    []uint64 // per-DRAM-channel busy-until
+	bankMask int      // as l3cache.bankMask
+	chanMask int
 }
 
-func (l *l4cache) bank(line uint64) *bank { return l.banks[mixLine(line)%uint64(len(l.banks))] }
+func (l *l4cache) bank(line uint64) *bank {
+	if l.bankMask >= 0 {
+		return l.banks[mixLine(line)&uint64(l.bankMask)]
+	}
+	return l.banks[mixLine(line)%uint64(len(l.banks))]
+}
+
 func (l *l4cache) channel(line uint64) *uint64 {
+	if l.chanMask >= 0 {
+		return &l.chans[(mixLine(line)>>8)&uint64(l.chanMask)]
+	}
 	return &l.chans[(mixLine(line)>>8)%uint64(len(l.chans))]
+}
+
+// powMask returns n-1 when n is a power of two (the bank/channel counts of
+// every option-built machine), else -1 to select the modulo path. Both
+// pick identical indices: x % n == x & (n-1) for powers of two.
+func powMask(n int) int {
+	if n&(n-1) == 0 {
+		return n - 1
+	}
+	return -1
 }
 
 // mixLine hashes a line address so banks interleave well even for strided
@@ -306,6 +394,7 @@ type hierarchy struct {
 	jrng   rng
 	nChips int
 	hasU   bool
+	hasE   bool
 	remote bool
 
 	// now is the engine's current service time (the issuing core's clock at
@@ -322,6 +411,7 @@ func newHierarchy(cfg *Config, st *Stats) *hierarchy {
 		store:  newBacking(),
 		nChips: n,
 		hasU:   cfg.Protocol.HasU(),
+		hasE:   cfg.Protocol.Kind().HasE(),
 		remote: cfg.Protocol.Remote(),
 		jrng:   newRNG(cfg.Seed ^ 0xC0FFEE),
 	}
@@ -334,13 +424,13 @@ func newHierarchy(cfg *Config, st *Stats) *hierarchy {
 	}
 	h.chips = make([]*l3cache, n)
 	for i := range h.chips {
-		c := &l3cache{chip: i, arr: newArray[dirLine](cfg.L3Size, cfg.L3Ways)}
+		c := &l3cache{chip: i, arr: newArray[dirLine](cfg.L3Size, cfg.L3Ways), bankMask: powMask(cfg.L3Banks)}
 		for b := 0; b < cfg.L3Banks; b++ {
 			c.banks = append(c.banks, newBank())
 		}
 		h.chips[i] = c
 	}
-	h.l4 = &l4cache{arr: newArray[dirLine](cfg.L4Size*n, cfg.L4Ways)}
+	h.l4 = &l4cache{arr: newArray[dirLine](cfg.L4Size*n, cfg.L4Ways), bankMask: powMask(cfg.L4Banks * n), chanMask: powMask(cfg.MemChannels * n)}
 	for b := 0; b < cfg.L4Banks*n; b++ {
 		h.l4.banks = append(h.l4.banks, newBank())
 	}
@@ -411,17 +501,19 @@ func (h *hierarchy) access(c *core) uint64 {
 	// Private-cache fast path. Latency accounting goes straight into the
 	// global breakdown buckets — no per-transaction scratch to zero and
 	// merge on the path that serves the overwhelming majority of accesses.
-	l2s := pc.l2.lookup(line)
+	// The probe doubles as the fill staging: on a clean miss the handle
+	// carries the victim way, so fillPriv commits without rescanning.
+	l2s, l2h := pc.l2.probe(line)
 	if l2s != nil && h.privSufficient(l2s, r) {
 		var lat uint64
-		if pc.l1.lookup(line) != nil {
+		if l1s, l1h := pc.l1.probe(line); l1s != nil {
 			h.st.L1Hits++
 			lat = h.cfg.L1Lat
 		} else {
 			h.st.L2Hits++
 			lat = h.cfg.L1Lat + h.cfg.L2Lat
 			h.st.Breakdown.L2 += h.cfg.L2Lat
-			pc.l1.insert(line) // L1 fills silently; L2 is inclusive
+			pc.l1.commit(line, l1h) // L1 fills silently; L2 is inclusive
 		}
 		l1bd := h.cfg.L1Lat
 		if atomicOp {
@@ -432,29 +524,30 @@ func (h *hierarchy) access(c *core) uint64 {
 			}
 		}
 		h.st.Breakdown.L1 += l1bd
+		if r.kind == opComm && l2s.state == coh.U {
+			// COUP's hot loop — buffer and coalesce locally (Sec 3.1.2),
+			// inlined here to spare the applyPriv dispatch.
+			w := (r.addr >> 3) & 7
+			l2s.buf[w] = ops.ApplyAt(r.otype, l2s.buf[w], uint(r.addr&7), r.val)
+			return lat
+		}
 		h.applyPriv(c, l2s, r)
 		return lat
 	}
 	tx := txn{now: c.time}
 
 	// Miss path. First fold and drop our own insufficient copy (l2s, found
-	// by the sufficiency lookup above): its partial update (U) travels with
+	// by the sufficiency probe above): its partial update (U) travels with
 	// the request and is folded by the reduction the directory is about to
-	// run; a read-only copy (S) is dropped by the upgrade.
-	ci := c.id % h.cfg.CoresPerChip
-	ch := h.chips[c.chip]
+	// run; a read-only copy (S) is dropped by the upgrade. The matching
+	// L3-directory drop rides l3Access's own probe (dropSelf) instead of a
+	// separate tag scan here.
 	if l2s != nil {
 		if l2s.state == coh.U {
 			h.foldBufferAt(pc, line, l2s)
 		}
-		pc.l2.invalidate(line)
+		pc.l2.invalidateAt(line, l2h)
 		pc.l1.invalidate(line)
-		if e := ch.arr.peek(line); e != nil {
-			e.sharers &^= bit(ci)
-			if e.owner == int16(ci) {
-				e.owner = invalidOwner
-			}
-		}
 	}
 
 	tx.adv(h.cfg.L1Lat, &tx.bd.L1)
@@ -470,14 +563,14 @@ func (h *hierarchy) access(c *core) uint64 {
 		rq = shGetU
 	}
 
-	grant := h.l3Access(c, line, rq, r.otype, &tx)
+	grant, dirWay := h.l3Access(c, line, rq, r.otype, &tx, l2s != nil)
 
 	// Fill the private cache with the granted line and apply the operation.
-	h.fillPriv(c, line, grant, r.otype)
+	filled := h.fillPriv(c, line, grant, r.otype, l2h, dirWay)
 	if atomicOp {
 		tx.adv(h.cfg.AtomicOverhead, &tx.bd.L1)
 	}
-	h.applyPriv(c, pc.l2.peek(line), r)
+	h.applyPriv(c, filled, r)
 	h.st.Breakdown.add(tx.bd)
 	return tx.now - c.time
 }
@@ -600,20 +693,25 @@ func (h *hierarchy) applyPriv(c *core, p *privLine, r *request) {
 }
 
 // fillPriv installs a line in the requesting core's L1/L2 with the granted
-// state.
-func (h *hierarchy) fillPriv(c *core, line uint64, grant coh.State, t ops.Type) {
+// state and returns the installed L2 way, so the caller can apply the
+// operation without rescanning the set. fh is the handle from the miss
+// probe in access: on a clean miss it still stages the victim way and the
+// fill commits scan-free; after a same-set mutation (e.g. the requester
+// dropped its own insufficient copy) commit falls back to a fresh insert.
+func (h *hierarchy) fillPriv(c *core, line uint64, grant coh.State, t ops.Type, fh slotRef, dirWay uint8) *privLine {
 	pc := h.priv[c.id]
-	s, vtag, vp, evicted := pc.l2.insert(line)
+	s, vtag, vp, evicted, _ := pc.l2.commit(line, fh)
 	if evicted {
 		h.evictPrivLine(c, vtag, &vp)
 		pc.l1.invalidate(vtag)
 	}
-	*s = privLine{state: grant}
+	*s = privLine{state: grant, dirWay: dirWay}
 	if grant == coh.U {
 		s.buf = pc.newBuf(t)
 		s.otype = t
 	}
 	pc.l1.insert(line)
+	return s
 }
 
 // evictPrivLine handles an L2 capacity eviction: partial reduction for U
@@ -623,7 +721,7 @@ func (h *hierarchy) fillPriv(c *core, line uint64, grant coh.State, t ops.Type) 
 func (h *hierarchy) evictPrivLine(c *core, line uint64, p *privLine) {
 	ch := h.chips[c.chip]
 	ci := c.id % h.cfg.CoresPerChip
-	e := ch.arr.peek(line)
+	e := ch.arr.peekAt(line, p.dirWay)
 	if e == nil {
 		panic(fmt.Sprintf("sim: inclusion violated — L2 line %#x missing from L3", line))
 	}
@@ -677,40 +775,59 @@ func (h *hierarchy) offChip(bytes uint64) {
 // l3Access obtains the requested permission for core c from its chip's L3
 // directory, escalating to the L4 global directory when the chip's own
 // permission is insufficient. It returns the state to install in the
-// private cache.
-func (h *hierarchy) l3Access(c *core, line uint64, rq shReq, t ops.Type, tx *txn) coh.State {
+// private cache, plus the L3 way its directory entry landed in (a
+// best-effort hint for the requester's later eviction of the line;
+// wayUnknown on the rare re-scan paths). dropSelf marks a requester that
+// just dropped its own insufficient private copy: the matching
+// directory-entry cleanup happens on the entry found by this function's
+// probe, instead of a separate tag scan in access.
+func (h *hierarchy) l3Access(c *core, line uint64, rq shReq, t ops.Type, tx *txn, dropSelf bool) (coh.State, uint8) {
 	ch := h.chips[c.chip]
 	b := ch.bank(line)
 	ci := c.id % h.cfg.CoresPerChip
 
 	// Serialize against other transactions on this line and this bank.
-	tx.waitUntil(b.lineBusy.get(line), &tx.bd.L3)
+	lineBusy, bslot := b.lineBusy.getSlot(line)
+	tx.waitUntil(lineBusy, &tx.bd.L3)
 	tx.waitUntil(b.busyUntil, &tx.bd.L3)
 	b.busyUntil = tx.now + h.cfg.DirBankService
 	tx.adv(h.cfg.L3Lat+h.jitter(), &tx.bd.L3)
 	h.onChip(ctrlBytes)
 
-	e := ch.arr.lookup(line)
+	// One fused probe serves both outcomes: a hit yields the entry plus a
+	// handle that survives l4Access untouched in the common case, and a miss
+	// stages the insertion so the allocation after l4Access needs no second
+	// 16-way tag scan.
+	e, eh := ch.arr.probe(line)
+	if e != nil && dropSelf {
+		// The requester no longer holds its (just-dropped) private copy;
+		// clear it before any directory decision reads the sharer set.
+		e.sharers &^= bit(ci)
+		if e.owner == int16(ci) {
+			e.owner = invalidOwner
+		}
+	}
+	way := slotWay(eh)
 	if e == nil {
 		// Chip-level miss: obtain chip permission from the L4, then allocate
 		// the (inclusive) L3 entry.
 		cstate := h.l4Access(c, line, rq, t, tx)
-		s, vtag, vp, evicted := ch.arr.insert(line)
+		s, vtag, vp, evicted, w := ch.arr.commit(line, eh)
 		if evicted {
 			h.evictL3Line(ch, vtag, &vp)
 		}
 		*s = dirLine{owner: invalidOwner, cstate: cstate}
-		e = s
+		e, way = s, w
 	} else if !h.chipSufficient(e, rq, t) {
 		cstate := h.l4Access(c, line, rq, t, tx)
-		e = ch.arr.peek(line) // l4Access may have invalidated our entry
+		e = ch.arr.revalidate(line, eh) // l4Access may have invalidated our entry
 		if e == nil {
-			s, vtag, vp, evicted := ch.arr.insert(line)
+			s, vtag, vp, evicted, w := ch.arr.insert(line)
 			if evicted {
 				h.evictL3Line(ch, vtag, &vp)
 			}
 			*s = dirLine{owner: invalidOwner}
-			e = s
+			e, way = s, w
 		}
 		e.cstate = cstate
 	} else {
@@ -718,8 +835,8 @@ func (h *hierarchy) l3Access(c *core, line uint64, rq shReq, t ops.Type, tx *txn
 	}
 
 	grant := h.resolveInChip(c, ch, b, e, line, rq, t, tx, ci)
-	b.lineBusy.put(line, tx.now, h.now)
-	return grant
+	b.lineBusy.putAt(bslot, line, tx.now, h.now)
+	return grant, way
 }
 
 // chipSufficient reports whether the chip's global permission covers rq.
@@ -760,7 +877,7 @@ func (h *hierarchy) resolveInChip(c *core, ch *l3cache, b *bank, d *dirLine, lin
 		}
 		d.sharers |= bit(ci)
 		d.otype = ops.Read
-		if d.sharers == bit(ci) && d.cstate.Exclusive() && h.cfg.Protocol.Kind().HasE() {
+		if d.sharers == bit(ci) && d.cstate.Exclusive() && h.hasE {
 			// Sole copy anywhere: exclusive-clean grant.
 			d.sharers = 0
 			d.owner = int16(ci)
@@ -810,7 +927,7 @@ func (h *hierarchy) resolveInChip(c *core, ch *l3cache, b *bank, d *dirLine, lin
 				h.st.TypeSwitches++
 			}
 		}
-		if d.sharers == 0 && d.owner < 0 && d.cstate.Exclusive() && h.cfg.Protocol.Kind().HasE() {
+		if d.sharers == 0 && d.owner < 0 && d.cstate.Exclusive() && h.hasE {
 			// Fig 6: update request on an unshared line is granted in M.
 			d.owner = int16(ci)
 			d.dirty = true
@@ -849,16 +966,21 @@ func (h *hierarchy) downgradeCore(chip, ci int, line uint64, to coh.State, t ops
 }
 
 // invalidateCore removes a core's private copy, folding partial updates and
-// accounting the ack traffic.
-func (h *hierarchy) invalidateCore(chip, ci int, line uint64) {
+// accounting the ack traffic. It returns the state the copy held, so
+// callers that need it (the hierarchical-reduction counts in evictL3Line
+// and invalidateChip) avoid a pre-peek of the same L2 set. The slot handle
+// from the single peek also feeds the invalidation, so the victim L2 is
+// walked once rather than twice.
+func (h *hierarchy) invalidateCore(chip, ci int, line uint64) coh.State {
 	coreID := chip*h.cfg.CoresPerChip + ci
 	pc := h.priv[coreID]
-	s := pc.l2.peek(line)
+	s, sh := pc.l2.peekSlot(line)
 	if s == nil {
 		panic(fmt.Sprintf("sim: directory thinks core %d holds %#x but L2 misses", coreID, line))
 	}
 	h.st.Invalidations++
-	switch s.state {
+	was := s.state
+	switch was {
 	case coh.U:
 		h.foldBufferAt(pc, line, s)
 		h.onChip(dataBytes)
@@ -867,19 +989,18 @@ func (h *hierarchy) invalidateCore(chip, ci int, line uint64) {
 	default:
 		h.onChip(ctrlBytes)
 	}
-	pc.l2.invalidate(line)
+	pc.l2.invalidateAt(line, sh)
 	pc.l1.invalidate(line)
+	return was
 }
 
 // invalidateChipSharers invalidates every in-chip non-exclusive copy.
 // Critical path: one round trip plus a small fan-out cost per extra sharer.
 func (h *hierarchy) invalidateChipSharers(ch *l3cache, d *dirLine, line uint64, tx *txn, bucket *uint64) {
 	n := 0
-	for ci := 0; ci < h.cfg.CoresPerChip; ci++ {
-		if d.sharers&bit(ci) != 0 {
-			h.invalidateCore(ch.chip, ci, line)
-			n++
-		}
+	for rem := d.sharers; rem != 0; rem &= rem - 1 {
+		h.invalidateCore(ch.chip, bits.TrailingZeros64(rem), line)
+		n++
 	}
 	d.sharers = 0
 	if n > 0 {
@@ -891,11 +1012,9 @@ func (h *hierarchy) invalidateChipSharers(ch *l3cache, d *dirLine, line uint64, 
 // invalidated, its partial update folded by the bank's reduction unit.
 func (h *hierarchy) reduceChipCores(ch *l3cache, b *bank, d *dirLine, line uint64, tx *txn, bucket *uint64) {
 	n := 0
-	for ci := 0; ci < h.cfg.CoresPerChip; ci++ {
-		if d.sharers&bit(ci) != 0 {
-			h.invalidateCore(ch.chip, ci, line)
-			n++
-		}
+	for rem := d.sharers; rem != 0; rem &= rem - 1 {
+		h.invalidateCore(ch.chip, bits.TrailingZeros64(rem), line)
+		n++
 	}
 	d.sharers = 0
 	if n == 0 {
@@ -922,13 +1041,9 @@ func (h *hierarchy) evictL3Line(ch *l3cache, line uint64, d *dirLine) {
 		d.dirty = true
 	}
 	nU := 0
-	for ci := 0; ci < h.cfg.CoresPerChip; ci++ {
-		if d.sharers&bit(ci) != 0 {
-			cid := ch.chip*h.cfg.CoresPerChip + ci
-			if s := h.priv[cid].l2.peek(line); s != nil && s.state == coh.U {
-				nU++
-			}
-			h.invalidateCore(ch.chip, ci, line)
+	for rem := d.sharers; rem != 0; rem &= rem - 1 {
+		if h.invalidateCore(ch.chip, bits.TrailingZeros64(rem), line) == coh.U {
+			nU++
 		}
 	}
 	if nU > 0 {
@@ -962,13 +1077,17 @@ func (h *hierarchy) l4Access(c *core, line uint64, rq shReq, t ops.Type, tx *txn
 	p := c.chip
 
 	tx.adv(2*h.cfg.LinkLat, &tx.bd.Net) // request + reply link traversals
-	tx.waitUntil(b.lineBusy.get(line), &tx.bd.L4Inval)
+	lineBusy, bslot := b.lineBusy.getSlot(line)
+	tx.waitUntil(lineBusy, &tx.bd.L4Inval)
 	tx.waitUntil(b.busyUntil, &tx.bd.L4)
 	b.busyUntil = tx.now + h.cfg.DirBankService
 	tx.adv(h.cfg.L4Lat+h.jitter(), &tx.bd.L4)
 	h.offChip(ctrlBytes)
 
-	ge := h.l4.arr.lookup(line)
+	// Fused probe: the memory access between a global miss and the entry
+	// allocation never touches the L4 array, so the staged insertion commits
+	// without a second tag scan.
+	ge, gh := h.l4.arr.probe(line)
 	if ge == nil {
 		// Global miss: fetch from memory. Update-only requests need no data
 		// (the line starts at the identity element); the fill happens off
@@ -978,7 +1097,7 @@ func (h *hierarchy) l4Access(c *core, line uint64, rq shReq, t ops.Type, tx *txn
 		} else {
 			h.memAccess(line, tx)
 		}
-		s, vtag, vp, evicted := h.l4.arr.insert(line)
+		s, vtag, vp, evicted, _ := h.l4.arr.commit(line, gh)
 		if evicted {
 			h.evictL4Line(vtag, &vp)
 		}
@@ -990,7 +1109,7 @@ func (h *hierarchy) l4Access(c *core, line uint64, rq shReq, t ops.Type, tx *txn
 
 	d := ge
 	grant := h.resolveGlobal(p, d, line, rq, t, tx)
-	b.lineBusy.put(line, tx.now, h.now)
+	b.lineBusy.putAt(bslot, line, tx.now, h.now)
 	h.offChip(dataBytes) // grant reply (data or permission+identity metadata)
 	return grant
 }
@@ -998,7 +1117,7 @@ func (h *hierarchy) l4Access(c *core, line uint64, rq shReq, t ops.Type, tx *txn
 // resolveGlobal applies the cross-chip directory actions for chip p's
 // request and returns the granted chip state.
 func (h *hierarchy) resolveGlobal(p int, d *dirLine, line uint64, rq shReq, t ops.Type, tx *txn) coh.State {
-	hasE := h.cfg.Protocol.Kind().HasE()
+	hasE := h.hasE
 	switch rq {
 	case shGetS:
 		if d.owner >= 0 && d.owner != int16(p) {
@@ -1135,13 +1254,9 @@ func (h *hierarchy) invalidateChip(q int, line uint64, tx *txn) uint64 {
 		cost += h.invalRTT()
 	}
 	nU := 0
-	for ci := 0; ci < h.cfg.CoresPerChip; ci++ {
-		if e.sharers&bit(ci) != 0 {
-			cid := q*h.cfg.CoresPerChip + ci
-			if s := h.priv[cid].l2.peek(line); s != nil && s.state == coh.U {
-				nU++
-			}
-			h.invalidateCore(q, ci, line)
+	for rem := e.sharers; rem != 0; rem &= rem - 1 {
+		if h.invalidateCore(q, bits.TrailingZeros64(rem), line) == coh.U {
+			nU++
 		}
 	}
 	if e.sharers != 0 {
@@ -1289,10 +1404,11 @@ func (h *hierarchy) rmoUpdate(c *core) uint64 {
 
 	// Drop any local copy; remote updates do not cache.
 	pc := h.priv[c.id]
-	if s := pc.l2.peek(line); s != nil {
-		pc.l2.invalidate(line)
+	if s, sh := pc.l2.peekSlot(line); s != nil {
+		dirWay := s.dirWay
+		pc.l2.invalidateAt(line, sh)
 		pc.l1.invalidate(line)
-		if e := h.chips[c.chip].arr.peek(line); e != nil {
+		if e := h.chips[c.chip].arr.peekAt(line, dirWay); e != nil {
 			ci := c.id % h.cfg.CoresPerChip
 			e.sharers &^= bit(ci)
 			if e.owner == int16(ci) {
@@ -1303,7 +1419,8 @@ func (h *hierarchy) rmoUpdate(c *core) uint64 {
 
 	b := h.l4.bank(line)
 	tx.adv(2*h.cfg.LinkLat, &tx.bd.Net)
-	tx.waitUntil(b.lineBusy.get(line), &tx.bd.L4Inval)
+	lineBusy, bslot := b.lineBusy.getSlot(line)
+	tx.waitUntil(lineBusy, &tx.bd.L4Inval)
 	tx.waitUntil(b.busyUntil, &tx.bd.L4)
 	b.busyUntil = tx.now + h.cfg.DirBankService
 	tx.adv(h.cfg.L4Lat, &tx.bd.L4)
@@ -1312,7 +1429,7 @@ func (h *hierarchy) rmoUpdate(c *core) uint64 {
 	ge := h.l4.arr.lookup(line)
 	if ge == nil {
 		h.memAccess(line, &tx)
-		s, vtag, vp, evicted := h.l4.arr.insert(line)
+		s, vtag, vp, evicted, _ := h.l4.arr.insert(line)
 		if evicted {
 			h.evictL4Line(vtag, &vp)
 		}
@@ -1339,7 +1456,7 @@ func (h *hierarchy) rmoUpdate(c *core) uint64 {
 	w := (r.addr >> 3) & 7
 	ln := h.store.lineOf(r.addr)
 	ln[w] = ops.ApplyAt(r.otype, ln[w], uint(r.addr&7), r.val)
-	b.lineBusy.put(line, tx.now, h.now)
+	b.lineBusy.putAt(bslot, line, tx.now, h.now)
 
 	h.st.Breakdown.add(tx.bd)
 	return tx.now - c.time

@@ -38,8 +38,17 @@ type Workload interface {
 
 // Run executes w on a fresh machine built from cfg and validates the
 // result.
-func Run(w Workload, cfg sim.Config) (sim.Stats, error) {
-	m := sim.New(cfg)
+func Run(w Workload, cfg sim.Config) (sim.Stats, error) { return RunIn(nil, w, cfg) }
+
+// RunIn is Run on a machine drawn from (and released back to) arena, so
+// repeated runs of same-geometry machines — a sweep worker's steady state
+// — recycle all machine-sized scratch instead of reallocating it. A nil
+// arena builds a fresh machine, exactly like Run. The machine returns to
+// the pool only after it passed validation and the coherence invariants;
+// a failed (or panicked) run's machine is dropped, so a suspect machine
+// never re-enters the pool.
+func RunIn(arena *sim.Arena, w Workload, cfg sim.Config) (sim.Stats, error) {
+	m := sim.NewIn(arena, cfg)
 	w.Setup(m)
 	st := m.Run(w.Kernel)
 	if err := w.Validate(m); err != nil {
@@ -48,6 +57,7 @@ func Run(w Workload, cfg sim.Config) (sim.Stats, error) {
 	if err := m.CheckInvariants(); err != nil {
 		return st, fmt.Errorf("%s: coherence invariants: %w", w.Name(), err)
 	}
+	m.Release()
 	return st, nil
 }
 

@@ -26,6 +26,10 @@ var (
 	// ErrConflictingOptions is returned when the same knob is set twice
 	// with different values in one option list.
 	ErrConflictingOptions = errors.New("conflicting options")
+	// ErrInvalidParallelism is returned by NewSweeper and Sweep for
+	// WithParallelism(n) with n < 1. It wraps ErrInvalidOption, so callers
+	// matching the broader sentinel keep working.
+	ErrInvalidParallelism = fmt.Errorf("%w: invalid parallelism", ErrInvalidOption)
 )
 
 // unknownNameError formats "unknown X "name" (have: a, b, c)" wrapping the

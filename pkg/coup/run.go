@@ -3,6 +3,7 @@ package coup
 import (
 	"fmt"
 
+	"repro/internal/sim"
 	"repro/internal/workloads"
 )
 
@@ -12,6 +13,19 @@ import (
 // invariants. The returned Stats are valid even when validation fails, so
 // callers can report partial results alongside the error.
 func Run(workload string, opts ...Option) (Stats, error) {
+	return runIn(nil, workload, opts)
+}
+
+// RunWorkload is Run for a pre-built workload instance — use it for
+// workloads constructed directly rather than through the registry.
+// Workloads are single-run; build a fresh instance for every call.
+func RunWorkload(w Workload, opts ...Option) (Stats, error) {
+	return runWorkloadIn(nil, w, opts)
+}
+
+// runIn is Run drawing the machine from arena (nil means a fresh machine);
+// the sweep workers pass their per-worker arenas through here.
+func runIn(arena *sim.Arena, workload string, opts []Option) (Stats, error) {
 	info, err := LookupWorkload(workload)
 	if err != nil {
 		return Stats{}, err
@@ -26,22 +40,20 @@ func Run(workload string, opts ...Option) (Stats, error) {
 		// WithWorkloadParams), so callers can errors.Is them as usage.
 		return Stats{}, fmt.Errorf("coup: workload %q: %w: %w", info.Name, ErrInvalidOption, err)
 	}
-	return runOn(w, info.Name, b)
+	return runOn(arena, w, info.Name, b)
 }
 
-// RunWorkload is Run for a pre-built workload instance — use it for
-// workloads constructed directly rather than through the registry.
-// Workloads are single-run; build a fresh instance for every call.
-func RunWorkload(w Workload, opts ...Option) (Stats, error) {
+// runWorkloadIn is RunWorkload with an optional machine arena.
+func runWorkloadIn(arena *sim.Arena, w Workload, opts []Option) (Stats, error) {
 	b, err := newBuilder(opts)
 	if err != nil {
 		return Stats{}, err
 	}
-	return runOn(w, w.Name(), b)
+	return runOn(arena, w, w.Name(), b)
 }
 
-func runOn(w Workload, name string, b *builder) (Stats, error) {
-	st, err := workloads.Run(w, b.cfg)
+func runOn(arena *sim.Arena, w Workload, name string, b *builder) (Stats, error) {
+	st, err := workloads.RunIn(arena, w, b.cfg)
 	out := statsFrom(st, b.cfg, name)
 	if err != nil {
 		return out, fmt.Errorf("coup: %w", err)

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+
+	"repro/internal/sim"
 )
 
 // RunSpec describes one simulation in a Sweep: which workload to run and
@@ -34,6 +36,7 @@ type SweepResult struct {
 // sweepConfig carries sweep-level knobs.
 type sweepConfig struct {
 	parallelism int
+	arena       bool
 }
 
 // SweepOption configures a Sweep (not the machines inside it).
@@ -42,25 +45,48 @@ type SweepOption func(*sweepConfig) error
 // WithParallelism bounds the sweep's worker pool at n concurrent
 // simulations (n >= 1). The default is runtime.GOMAXPROCS(0); 1 yields a
 // fully serial sweep. Parallelism never changes results, only wall-clock
-// time.
+// time. n < 1 is an error (ErrInvalidParallelism), never a silent clamp.
 func WithParallelism(n int) SweepOption {
 	return func(c *sweepConfig) error {
 		if n < 1 {
-			return fmt.Errorf("coup: %w: parallelism must be >= 1, got %d", ErrInvalidOption, n)
+			return fmt.Errorf("coup: %w: parallelism must be >= 1, got %d", ErrInvalidParallelism, n)
 		}
 		c.parallelism = n
 		return nil
 	}
 }
 
-// Sweep executes every spec on its own isolated machine, fanning the runs
-// out across a bounded worker pool, and returns one result per spec in
-// input order. Failures — bad specs, option errors, validation failures,
-// even panics out of a workload factory or kernel — are captured as that
-// spec's Err; one broken run never takes down the sweep. The returned
-// error reports only sweep-level misuse (bad SweepOptions).
-func Sweep(specs []RunSpec, opts ...SweepOption) ([]SweepResult, error) {
-	cfg := sweepConfig{parallelism: runtime.GOMAXPROCS(0)}
+// WithMachineArena toggles the per-worker machine arenas (default on).
+// With arenas on, each worker recycles machine-sized scratch — cache and
+// directory arrays, backing-store pages, bank tables — across the specs
+// it executes, making repeated small simulations allocation-free at
+// steady state. Arenas never change results (sweep tables are
+// byte-identical either way, which TestSweepArenaGolden pins); turn them
+// off only to trade that speed for the lowest possible peak memory.
+func WithMachineArena(on bool) SweepOption {
+	return func(c *sweepConfig) error {
+		c.arena = on
+		return nil
+	}
+}
+
+// Sweeper is a validated, reusable sweep engine. NewSweeper derives the
+// worker count and builds the per-worker machine arenas once; every Run
+// then fans its specs out over that fixed pool, so repeated sweeps (a
+// benchmark loop, an experiment series) keep their recycled machines
+// across calls instead of re-deriving configuration per sweep. A Sweeper
+// is safe for sequential reuse, not for concurrent Run calls (the
+// per-worker arenas are single-threaded by design).
+type Sweeper struct {
+	parallelism int
+	arenas      []*sim.Arena // one per worker slot; nil when arenas are off
+}
+
+// NewSweeper validates opts and returns a reusable Sweeper. Option errors
+// (e.g. WithParallelism(0)) surface here, typed, rather than inside every
+// sweep call.
+func NewSweeper(opts ...SweepOption) (*Sweeper, error) {
+	cfg := sweepConfig{parallelism: runtime.GOMAXPROCS(0), arena: true}
 	for _, opt := range opts {
 		if opt == nil {
 			continue
@@ -69,39 +95,79 @@ func Sweep(specs []RunSpec, opts ...SweepOption) ([]SweepResult, error) {
 			return nil, err
 		}
 	}
+	s := &Sweeper{parallelism: cfg.parallelism}
+	if cfg.arena {
+		s.arenas = make([]*sim.Arena, cfg.parallelism)
+		for i := range s.arenas {
+			s.arenas[i] = sim.NewArena()
+		}
+	}
+	return s, nil
+}
+
+// Run executes every spec on its own isolated machine, fanning the runs
+// out across the Sweeper's worker pool, and returns one result per spec
+// in input order. Failures — bad specs, option errors, validation
+// failures, even panics out of a workload factory or kernel — are
+// captured as that spec's Err; one broken run never takes down the sweep.
+func (s *Sweeper) Run(specs []RunSpec) []SweepResult {
 	out := make([]SweepResult, len(specs))
-	workers := cfg.parallelism
+	workers := s.parallelism
 	if workers > len(specs) {
 		workers = len(specs)
 	}
 	if workers <= 1 {
+		a := s.arena(0)
 		for i := range specs {
-			out[i] = runSpec(specs[i])
+			out[i] = runSpec(a, specs[i])
 		}
-		return out, nil
+		return out
 	}
 	idx := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			a := s.arena(w)
 			for i := range idx {
-				out[i] = runSpec(specs[i])
+				out[i] = runSpec(a, specs[i])
 			}
-		}()
+		}(w)
 	}
 	for i := range specs {
 		idx <- i
 	}
 	close(idx)
 	wg.Wait()
-	return out, nil
+	return out
+}
+
+// arena returns worker w's machine arena, or nil when arenas are off.
+func (s *Sweeper) arena(w int) *sim.Arena {
+	if s.arenas == nil {
+		return nil
+	}
+	return s.arenas[w]
+}
+
+// Sweep executes every spec across a bounded worker pool and returns one
+// result per spec in input order; see Sweeper.Run for the execution
+// contract. The returned error reports only sweep-level misuse (bad
+// SweepOptions). Callers issuing many sweeps can build one Sweeper and
+// reuse it, keeping the per-worker machine arenas warm across calls.
+func Sweep(specs []RunSpec, opts ...SweepOption) ([]SweepResult, error) {
+	s, err := NewSweeper(opts...)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run(specs), nil
 }
 
 // runSpec executes one spec, converting panics (workload factories and
-// kernels are allowed to panic on setup bugs) into errors.
-func runSpec(s RunSpec) (res SweepResult) {
+// kernels are allowed to panic on setup bugs) into errors. Machines come
+// from arena when non-nil.
+func runSpec(arena *sim.Arena, s RunSpec) (res SweepResult) {
 	defer func() {
 		if r := recover(); r != nil {
 			res.Err = fmt.Errorf("coup: sweep run panicked: %v", r)
@@ -116,9 +182,9 @@ func runSpec(s RunSpec) (res SweepResult) {
 			res.Err = fmt.Errorf("coup: sweep workload factory: %w", err)
 			return
 		}
-		res.Stats, res.Err = RunWorkload(w, s.Options...)
+		res.Stats, res.Err = runWorkloadIn(arena, w, s.Options)
 	case s.Workload != "":
-		res.Stats, res.Err = Run(s.Workload, s.Options...)
+		res.Stats, res.Err = runIn(arena, s.Workload, s.Options)
 	default:
 		res.Err = fmt.Errorf("coup: %w: RunSpec needs Workload or Make", ErrInvalidOption)
 	}

@@ -147,9 +147,144 @@ func TestSweepEmptyAndOptionValidation(t *testing.T) {
 		t.Errorf("empty sweep: %v, %v", results, err)
 	}
 	for _, n := range []int{0, -3} {
-		if _, err := Sweep(nil, WithParallelism(n)); !errors.Is(err, ErrInvalidOption) {
+		_, err := Sweep(nil, WithParallelism(n))
+		// The typed sentinel must match, and so must the broader
+		// ErrInvalidOption it wraps (older callers match on that).
+		if !errors.Is(err, ErrInvalidParallelism) {
+			t.Errorf("WithParallelism(%d) err = %v, want ErrInvalidParallelism", n, err)
+		}
+		if !errors.Is(err, ErrInvalidOption) {
 			t.Errorf("WithParallelism(%d) err = %v, want ErrInvalidOption", n, err)
 		}
+		if _, err := NewSweeper(WithParallelism(n)); !errors.Is(err, ErrInvalidParallelism) {
+			t.Errorf("NewSweeper(WithParallelism(%d)) err = %v, want ErrInvalidParallelism", n, err)
+		}
+	}
+}
+
+// sweepGoldenSpecs is a mixed grid — workloads × protocols × shapes ×
+// seeds — exercising registry and Make specs, chip-crossing machines and
+// repeated shapes (so arenas actually recycle).
+func sweepGoldenSpecs() []RunSpec {
+	var specs []RunSpec
+	for _, wl := range []string{"counter", "hist"} {
+		for _, proto := range []string{"MEUSI", "MESI"} {
+			for _, cores := range []int{2, 4, 17} {
+				for seed := uint64(1); seed <= 2; seed++ {
+					specs = append(specs, RunSpec{
+						Workload: wl,
+						Options: []Option{
+							WithCores(cores),
+							WithProtocol(proto),
+							WithSeed(seed),
+							WithWorkloadParams(WorkloadParams{Size: 60, Bins: 32}),
+						},
+					})
+				}
+			}
+		}
+	}
+	return specs
+}
+
+// TestSweepArenaGolden is the sweep-level golden test: the full result
+// table must be byte-identical at parallelism 1 vs 8 and with machine
+// arenas on vs off. Neither scheduling nor scratch reuse may leak into
+// results.
+func TestSweepArenaGolden(t *testing.T) {
+	specs := sweepGoldenSpecs()
+	base, err := Sweep(specs, WithParallelism(1), WithMachineArena(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	variants := []struct {
+		name string
+		opts []SweepOption
+	}{
+		{"parallel1+arena", []SweepOption{WithParallelism(1)}},
+		{"parallel8+arena", []SweepOption{WithParallelism(8)}},
+		{"parallel8+noarena", []SweepOption{WithParallelism(8), WithMachineArena(false)}},
+		{"default", nil},
+	}
+	for _, v := range variants {
+		got, err := Sweep(specs, v.opts...)
+		if err != nil {
+			t.Fatalf("%s: %v", v.name, err)
+		}
+		for i := range specs {
+			if base[i].Err != nil || got[i].Err != nil {
+				t.Fatalf("%s spec %d: errs %v / %v", v.name, i, base[i].Err, got[i].Err)
+			}
+			if got[i] != base[i] {
+				t.Errorf("%s: spec %d differs from serial no-arena baseline:\nbase %+v\ngot  %+v",
+					v.name, i, base[i], got[i])
+			}
+		}
+	}
+}
+
+// TestSweeperReuse pins the hoisted configuration: one Sweeper carried
+// across Run calls (its arenas staying warm) returns the same results as
+// fresh sweeps.
+func TestSweeperReuse(t *testing.T) {
+	specs := []RunSpec{counterSpec(2, 1), counterSpec(17, 2), counterSpec(2, 3)}
+	s, err := NewSweeper(WithParallelism(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := s.Run(specs)
+	second := s.Run(specs)
+	for i := range specs {
+		if first[i].Err != nil {
+			t.Fatalf("spec %d: %v", i, first[i].Err)
+		}
+		if first[i] != second[i] {
+			t.Errorf("spec %d: warm-arena rerun differs:\n1st %+v\n2nd %+v", i, first[i], second[i])
+		}
+	}
+}
+
+// TestSweepZeroAllocsSteadyState pins the arena's end-to-end effect: at
+// steady state (arenas warm), a sweep spec's allocations no longer scale
+// with the machine — what remains is per-spec harness overhead (kernel
+// coroutines, option application, the workload instance), the same ~dozens
+// of small objects for a 4-core and a 64-core machine. Without the arena a
+// single 64-core machine costs megabytes and thousands of objects per
+// spec.
+func TestSweepZeroAllocsSteadyState(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		cores int
+	}{
+		{"small-4core", 4},
+		{"large-64core", 64},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var specs []RunSpec
+			for i := 0; i < 6; i++ {
+				specs = append(specs, counterSpec(tc.cores, uint64(i+1)))
+			}
+			s, err := NewSweeper(WithParallelism(1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			s.Run(specs) // warm the arena
+			allocs := testing.AllocsPerRun(3, func() { s.Run(specs) })
+			perSpec := allocs / float64(len(specs))
+			t.Logf("%s: %.1f allocs/spec steady state", tc.name, perSpec)
+			// What remains per spec is bounded harness overhead: ~60 small
+			// objects of option/workload plumbing plus the per-core kernel
+			// coroutines (iter.Pull spawns ~14 objects per simulated thread —
+			// the documented engine floor). Nothing may scale with cache or
+			// directory sizes: a 64-core Table-1 machine is ~12 MB of arrays,
+			// and before the arena a spec allocated all of it. The bound is
+			// ~2x the measured steady state; failing it means machine-sized
+			// allocations crept back into the sweep loop.
+			budget := 150 + 25*float64(tc.cores)
+			if perSpec > budget {
+				t.Errorf("steady-state sweep allocates %.1f objects/spec, want < %.0f (harness + coroutine overhead only)", perSpec, budget)
+			}
+		})
 	}
 }
 
