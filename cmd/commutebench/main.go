@@ -158,13 +158,11 @@ func parseKinds(s string) ([]swbench.Kind, error) {
 	}
 	var out []swbench.Kind
 	for _, part := range strings.Split(s, ",") {
-		k := swbench.Kind(strings.ToLower(strings.TrimSpace(part)))
-		switch k {
-		case swbench.KindCounter, swbench.KindHist:
-			out = append(out, k)
-		default:
-			return nil, fmt.Errorf("unknown kind %q (have: counter, hist, all)", part)
+		k, err := swbench.ParseKind(part)
+		if err != nil {
+			return nil, err
 		}
+		out = append(out, k)
 	}
 	return out, nil
 }
@@ -175,13 +173,11 @@ func parseImpls(s string) ([]swbench.Impl, error) {
 	}
 	var out []swbench.Impl
 	for _, part := range strings.Split(s, ",") {
-		i := swbench.Impl(strings.ToLower(strings.TrimSpace(part)))
-		switch i {
-		case swbench.ImplCommute, swbench.ImplAtomic, swbench.ImplMutex:
-			out = append(out, i)
-		default:
-			return nil, fmt.Errorf("unknown impl %q (have: commute, atomic, mutex, all)", part)
+		i, err := swbench.ParseImpl(part)
+		if err != nil {
+			return nil, err
 		}
+		out = append(out, i)
 	}
 	return out, nil
 }

@@ -1,11 +1,17 @@
 // Package swbench is the software-side benchmark harness shared by
-// cmd/commutebench and the "figsw" experiment: it drives the pkg/commute
-// structures and their conventional counterparts (a shared atomic, a
-// mutex) with the same workload shapes the simulator runs — contended
-// counters and histograms under Zipf-skewed traffic — and reports
-// wall-clock throughput. Where pkg/coup measures simulated cycles,
-// swbench measures the real machine; the two sides of the repo's
-// hardware-vs-simulation cross-validation.
+// cmd/commutebench, cmd/coupload and the "figsw"/"figsvc" experiments: it
+// drives commutative-update implementations with the same workload shapes
+// the simulator runs — contended counters and histograms under
+// Zipf-skewed traffic — and reports wall-clock throughput. Where pkg/coup
+// measures simulated cycles, swbench measures the real machine; the two
+// sides of the repo's hardware-vs-simulation cross-validation.
+//
+// The traffic shapes are decoupled from what they drive: Run generates
+// each goroutine's target sequence, then pushes it through a Driver — by
+// default the in-process pkg/commute structures and their atomic/mutex
+// baselines, or (via Config.NewDriver) any other transport, such as the
+// batched HTTP driver that turns this package into a closed-loop load
+// generator for the coupd service.
 package swbench
 
 import (
@@ -13,11 +19,9 @@ import (
 	"math/rand"
 	"runtime"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/stats"
-	"repro/pkg/commute"
 )
 
 // Impl selects the implementation under test.
@@ -69,6 +73,10 @@ type Config struct {
 	// (0 = update-only), pricing COUP's read path.
 	ReadEvery int
 	Seed      uint64
+	// NewDriver overrides what the traffic drives. Nil selects the
+	// in-process implementation named by Impl; cmd/coupload installs the
+	// batched HTTP driver here.
+	NewDriver DriverMaker `json:"-"`
 }
 
 // Result is one measured run.
@@ -85,8 +93,10 @@ type Result struct {
 // Run executes one configuration and returns its measurement. The target
 // sequences are pre-generated outside the timed region so the loop
 // measures only the update path, and every goroutine starts on a common
-// barrier. It returns an error if the final reduction does not equal the
-// number of updates issued (an equivalence failure).
+// barrier; each goroutine's final Flush (for drivers that buffer
+// client-side) is inside the timed region, so batched transports pay for
+// delivery. It returns an error if the driver's final reduction does not
+// equal the number of updates issued (an equivalence failure).
 func Run(c Config) (Result, error) {
 	if c.Threads < 1 || c.Ops < 1 {
 		return Result{}, fmt.Errorf("swbench: need threads >= 1 and ops >= 1, got %d, %d", c.Threads, c.Ops)
@@ -99,38 +109,57 @@ func Run(c Config) (Result, error) {
 		cells = 1
 	}
 	targets := genTargets(c, cells)
-	u, err := newUpdater(c, cells)
+	mk := c.NewDriver
+	if mk == nil {
+		mk = newInProcDriver
+	}
+	d, err := mk(c, cells)
 	if err != nil {
 		return Result{}, err
 	}
+	defer d.Close()
 
+	workers := make([]Worker, c.Threads)
+	for t := range workers {
+		workers[t] = d.Worker(t)
+	}
+	flushErrs := make([]error, c.Threads)
 	var wg sync.WaitGroup
 	start := make(chan struct{})
 	for t := 0; t < c.Threads; t++ {
 		wg.Add(1)
-		go func(seq []uint32) {
+		go func(w Worker, seq []uint32, errp *error) {
 			defer wg.Done()
 			<-start
 			if c.ReadEvery > 0 {
 				for i, cell := range seq {
-					u.update(int(cell))
+					w.Update(int(cell))
 					if (i+1)%c.ReadEvery == 0 {
-						u.read(int(cell))
+						w.Read(int(cell))
 					}
 				}
-				return
+			} else {
+				for _, cell := range seq {
+					w.Update(int(cell))
+				}
 			}
-			for _, cell := range seq {
-				u.update(int(cell))
-			}
-		}(targets[t])
+			*errp = w.Flush()
+		}(workers[t], targets[t], &flushErrs[t])
 	}
 	t0 := time.Now()
 	close(start)
 	wg.Wait()
 	elapsed := time.Since(t0)
 
-	total := u.total()
+	for t, ferr := range flushErrs {
+		if ferr != nil {
+			return Result{}, fmt.Errorf("swbench: worker %d flush: %w", t, ferr)
+		}
+	}
+	total, err := d.Total()
+	if err != nil {
+		return Result{}, fmt.Errorf("swbench: total: %w", err)
+	}
 	want := uint64(c.Threads * c.Ops)
 	if total != want {
 		return Result{}, fmt.Errorf("swbench: %s/%s reduced to %d updates, want %d", c.Kind, c.Impl, total, want)
@@ -198,124 +227,6 @@ func genTargets(c Config, cells int) [][]uint32 {
 		out[t] = seq
 	}
 	return out
-}
-
-// updater is one implementation of the update/read/total triple.
-type updater interface {
-	update(cell int)
-	read(cell int) uint64
-	total() uint64
-}
-
-func newUpdater(c Config, cells int) (updater, error) {
-	switch c.Impl {
-	case ImplCommute:
-		if c.Kind == KindHist {
-			return &commuteHist{h: commute.MustHistogram(cells)}, nil
-		}
-		u := &commuteCells{cs: make([]*commute.Counter, cells)}
-		for i := range u.cs {
-			u.cs[i] = commute.MustCounter()
-		}
-		return u, nil
-	case ImplAtomic:
-		if c.Kind == KindHist {
-			return &atomicHist{vs: make([]atomic.Uint64, cells)}, nil
-		}
-		return &atomicCells{vs: make([]padCell, cells)}, nil
-	case ImplMutex:
-		return &mutexCells{vs: make([]uint64, cells)}, nil
-	}
-	return nil, fmt.Errorf("swbench: unknown impl %q (have: commute, atomic, mutex)", c.Impl)
-}
-
-// commuteCells: one sharded counter per cell.
-type commuteCells struct{ cs []*commute.Counter }
-
-func (u *commuteCells) update(cell int)      { u.cs[cell].Add(1) }
-func (u *commuteCells) read(cell int) uint64 { return uint64(u.cs[cell].Value()) }
-func (u *commuteCells) total() uint64 {
-	var s uint64
-	for _, c := range u.cs {
-		s += uint64(c.Value())
-	}
-	return s
-}
-
-// commuteHist: one sharded histogram.
-type commuteHist struct{ h *commute.Histogram }
-
-func (u *commuteHist) update(cell int)      { u.h.Inc(cell) }
-func (u *commuteHist) read(cell int) uint64 { return u.h.Bin(cell) }
-func (u *commuteHist) total() uint64 {
-	var s uint64
-	for _, v := range u.h.Snapshot(nil) {
-		s += v
-	}
-	return s
-}
-
-// padCell pads counter-kind atomic cells to a line each (distinct
-// counters should contend only when traffic collides, as in the
-// simulator's one-counter-per-line layout); histogram-kind baselines
-// deliberately stay packed, sharing lines like the real shared array.
-type padCell struct {
-	v atomic.Uint64
-	_ [56]byte
-}
-
-type atomicCells struct{ vs []padCell }
-
-func (u *atomicCells) update(cell int)      { u.vs[cell].v.Add(1) }
-func (u *atomicCells) read(cell int) uint64 { return u.vs[cell].v.Load() }
-func (u *atomicCells) total() uint64 {
-	var s uint64
-	for i := range u.vs {
-		s += u.vs[i].v.Load()
-	}
-	return s
-}
-
-// atomicHist is the packed shared histogram updated with atomic adds —
-// bins share cache lines, exactly like the OpenCV/TBB shared array the
-// paper's MESI baseline models.
-type atomicHist struct{ vs []atomic.Uint64 }
-
-func (u *atomicHist) update(cell int)      { u.vs[cell].Add(1) }
-func (u *atomicHist) read(cell int) uint64 { return u.vs[cell].Load() }
-func (u *atomicHist) total() uint64 {
-	var s uint64
-	for i := range u.vs {
-		s += u.vs[i].Load()
-	}
-	return s
-}
-
-type mutexCells struct {
-	mu sync.Mutex
-	vs []uint64
-}
-
-func (u *mutexCells) update(cell int) {
-	u.mu.Lock()
-	u.vs[cell]++
-	u.mu.Unlock()
-}
-
-func (u *mutexCells) read(cell int) uint64 {
-	u.mu.Lock()
-	defer u.mu.Unlock()
-	return u.vs[cell]
-}
-
-func (u *mutexCells) total() uint64 {
-	u.mu.Lock()
-	defer u.mu.Unlock()
-	var s uint64
-	for _, v := range u.vs {
-		s += v
-	}
-	return s
 }
 
 // DefaultThreads returns the thread sweep 1,2,4,... capped at max (and at

@@ -1,6 +1,12 @@
 package swbench
 
-import "testing"
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"strings"
+	"testing"
+)
 
 // TestRunEquivalence: every (kind, impl) pair must reduce to exactly
 // threads*ops updates — the software form of the simulator workloads'
@@ -50,6 +56,102 @@ func TestMeasureCI(t *testing.T) {
 	// Seeds must differ per rep so the CI reflects real variation.
 	if results[0].Seed == results[1].Seed {
 		t.Error("reps share a seed")
+	}
+}
+
+// TestTrafficGolden pins the generated target sequences against hashes
+// recorded before the Driver refactor: the figsw traffic an in-process
+// run drives is byte-identical to what the pre-Driver harness drove, so
+// the refactor cannot have shifted the measured workload.
+func TestTrafficGolden(t *testing.T) {
+	for _, tc := range []struct {
+		c    Config
+		want uint64
+	}{
+		{Config{Kind: KindCounter, Threads: 4, Ops: 10_000, Cells: 8, ZipfS: 1.07, Seed: 1}, 0x721fb16ff6fe6747},
+		{Config{Kind: KindHist, Threads: 8, Ops: 10_000, Bins: 512, ZipfS: 1.07, Seed: 1}, 0xbfaae0dbfa173b03},
+		{Config{Kind: KindHist, Threads: 2, Ops: 5_000, Bins: 64, ZipfS: 0, Seed: 42}, 0xe5176407dd4d0c8f},
+	} {
+		cells := tc.c.Cells
+		if tc.c.Kind == KindHist {
+			cells = tc.c.Bins
+		}
+		h := fnv.New64a()
+		for _, seq := range genTargets(tc.c, cells) {
+			for _, v := range seq {
+				h.Write([]byte{byte(v), byte(v >> 8), byte(v >> 16), byte(v >> 24)})
+			}
+		}
+		if got := h.Sum64(); got != tc.want {
+			t.Errorf("%s threads=%d seed=%d: traffic hash %#x, want %#x",
+				tc.c.Kind, tc.c.Threads, tc.c.Seed, got, tc.want)
+		}
+	}
+}
+
+// TestDefaultDriverShapes: a nil NewDriver must resolve to the shared
+// in-process structures — the same concrete types the pre-Driver harness
+// called directly, one interface dispatch on the hot path.
+func TestDefaultDriverShapes(t *testing.T) {
+	for _, tc := range []struct {
+		impl Impl
+		kind Kind
+		want string
+	}{
+		{ImplCommute, KindCounter, "*swbench.commuteCells"},
+		{ImplCommute, KindHist, "*swbench.commuteHist"},
+		{ImplAtomic, KindCounter, "*swbench.atomicCells"},
+		{ImplAtomic, KindHist, "*swbench.atomicHist"},
+		{ImplMutex, KindCounter, "*swbench.mutexCells"},
+		{ImplMutex, KindHist, "*swbench.mutexCells"},
+	} {
+		d, err := newInProcDriver(Config{Kind: tc.kind, Impl: tc.impl, Bins: 4, Cells: 4}, 4)
+		if err != nil {
+			t.Fatalf("%s/%s: %v", tc.kind, tc.impl, err)
+		}
+		sd, ok := d.(sharedDriver)
+		if !ok {
+			t.Fatalf("%s/%s: driver %T, want sharedDriver", tc.kind, tc.impl, d)
+		}
+		// Every worker must be the shared structure itself, not a wrapper.
+		w := d.Worker(0)
+		if w != sd.u || d.Worker(3) != sd.u {
+			t.Errorf("%s/%s: worker %T is not the shared updater", tc.kind, tc.impl, w)
+		}
+		if got := typeName(w); got != tc.want {
+			t.Errorf("%s/%s: updater %s, want %s", tc.kind, tc.impl, got, tc.want)
+		}
+	}
+}
+
+func typeName(v any) string { return fmt.Sprintf("%T", v) }
+
+// TestParseNames: lookups are case-insensitive and unknown names carry
+// the full valid set, pkg/coup registry style, under typed sentinels.
+func TestParseNames(t *testing.T) {
+	if i, err := ParseImpl("Commute"); err != nil || i != ImplCommute {
+		t.Errorf("ParseImpl(Commute) = %v, %v", i, err)
+	}
+	if k, err := ParseKind("HIST"); err != nil || k != KindHist {
+		t.Errorf("ParseKind(HIST) = %v, %v", k, err)
+	}
+	_, err := ParseImpl("bogus")
+	if !errors.Is(err, ErrUnknownImpl) {
+		t.Errorf("ParseImpl(bogus) err = %v, want ErrUnknownImpl", err)
+	}
+	for _, name := range Impls() {
+		if !strings.Contains(err.Error(), string(name)) {
+			t.Errorf("impl error %q does not list %q", err, name)
+		}
+	}
+	_, err = ParseKind("bogus")
+	if !errors.Is(err, ErrUnknownKind) {
+		t.Errorf("ParseKind(bogus) err = %v, want ErrUnknownKind", err)
+	}
+	for _, name := range Kinds() {
+		if !strings.Contains(err.Error(), string(name)) {
+			t.Errorf("kind error %q does not list %q", err, name)
+		}
 	}
 }
 
