@@ -1,0 +1,79 @@
+// Command coupd runs the commutative-aggregation service: named
+// pkg/commute structures served over HTTP/JSON with batched updates,
+// reduce-on-read snapshots and backpressure (see pkg/coupd).
+//
+// Usage:
+//
+//	coupd                          # listen on :7077
+//	coupd -addr 127.0.0.1:9090 -max-inflight 64
+//
+// On SIGINT/SIGTERM the server drains: new batches get 503, in-flight
+// batches land (bounded by -drain-timeout), then the listener closes.
+// Load it with cmd/coupload; read it with:
+//
+//	curl localhost:7077/v1/stats
+//	curl localhost:7077/v1/snapshot/<name>
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/pkg/coupd"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":7077", "listen address")
+		maxInFlight  = flag.Int("max-inflight", 0, "max concurrently-processed batches before 429 (0 = 4*GOMAXPROCS)")
+		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "how long shutdown waits for in-flight batches")
+	)
+	flag.Parse()
+
+	var opts []coupd.Option
+	if *maxInFlight > 0 {
+		opts = append(opts, coupd.WithMaxInFlight(*maxInFlight))
+	}
+	srv, err := coupd.New(opts...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "coupd: %v\n", err)
+		os.Exit(2)
+	}
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	fmt.Printf("coupd: serving on %s (POST /v1/batch, GET /v1/snapshot[/{name}], GET /v1/stats)\n", *addr)
+
+	select {
+	case err := <-errc:
+		// Listener died on its own (bad addr, port in use, ...).
+		fmt.Fprintf(os.Stderr, "coupd: %v\n", err)
+		os.Exit(1)
+	case s := <-sig:
+		fmt.Printf("coupd: %v: draining (timeout %v)\n", s, *drainTimeout)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	code := 0
+	if err := srv.Drain(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "coupd: %v\n", err)
+		code = 1
+	}
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(os.Stderr, "coupd: shutdown: %v\n", err)
+		code = 1
+	}
+	fmt.Println("coupd: drained, bye")
+	os.Exit(code)
+}

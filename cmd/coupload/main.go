@@ -1,0 +1,151 @@
+// Command coupload is the closed-loop load generator for coupd: it
+// drives the same Zipf-skewed counter/histogram traffic shapes as
+// cmd/commutebench, but ships them to a coupd server as batched
+// POST /v1/batch requests, and gives the service the simulator's
+// mean ± CI95 treatment. Every run is equivalence-checked: the
+// server-side reduction's delta must equal the client-side applied-op
+// count exactly, or the run fails.
+//
+// Usage:
+//
+//	coupload -addr http://127.0.0.1:7077             # against a running coupd
+//	coupload -self                                   # spin an in-process server (one-command demo)
+//	coupload -kind counter -cells 64 -threads 1,4,8 -batch 256
+//	coupload -kind hist -bins 512 -zipf 1.2 -reps 5 -json
+//
+// ns/op measures wall-clock per update delivered (batching amortizes the
+// HTTP round trip); updates/s is the sustained closed-loop throughput.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+
+	"repro/internal/stats"
+	"repro/internal/swbench"
+	"repro/pkg/coupd"
+)
+
+// point is one JSON-emitted data point.
+type point struct {
+	Kind         string  `json:"kind"`
+	Threads      int     `json:"threads"`
+	Batch        int     `json:"batch"`
+	Reps         int     `json:"reps"`
+	MeanNsPerOp  float64 `json:"mean_ns_per_op"`
+	CI95NsPerOp  float64 `json:"ci95_ns_per_op"`
+	UpdatesPerS  float64 `json:"updates_per_sec"`
+	CI95UpdatesS float64 `json:"ci95_updates_per_sec"`
+}
+
+func main() {
+	var (
+		addr     = flag.String("addr", "http://127.0.0.1:7077", "coupd base URL")
+		self     = flag.Bool("self", false, "ignore -addr and load an in-process coupd (one-command demo)")
+		kindF    = flag.String("kind", "hist", "workload shape: counter or hist")
+		threadsF = flag.String("threads", "", "comma-separated worker counts (default 1,2,4,...,max(8,GOMAXPROCS))")
+		batch    = flag.Int("batch", 256, "updates per POST /v1/batch request")
+		ops      = flag.Int("ops", 100_000, "updates per worker")
+		cells    = flag.Int("cells", 8, "distinct counters (counter kind)")
+		bins     = flag.Int("bins", 512, "histogram buckets (hist kind)")
+		zipf     = flag.Float64("zipf", 1.07, "Zipf skew s (> 1; <= 1 selects targets uniformly)")
+		reads    = flag.Int("reads", 0, "fold a snapshot read into every N updates (0 = update-only)")
+		reps     = flag.Int("reps", 3, "seeded repetitions per data point (mean ± CI95)")
+		seed     = flag.Uint64("seed", 1, "base seed (rep r runs with seed+r)")
+		asJSON   = flag.Bool("json", false, "emit data points as JSON")
+	)
+	flag.Parse()
+
+	kind, err := swbench.ParseKind(*kindF)
+	if err != nil {
+		fail(2, err)
+	}
+	threads, err := parseThreads(*threadsF)
+	if err != nil {
+		fail(2, err)
+	}
+
+	base := *addr
+	if *self {
+		srv, err := coupd.New()
+		if err != nil {
+			fail(1, err)
+		}
+		ts := httptest.NewServer(srv)
+		defer ts.Close()
+		base = ts.URL
+		fmt.Fprintf(os.Stderr, "coupload: in-process coupd at %s\n", base)
+	}
+
+	t := &stats.Table{
+		Title: fmt.Sprintf("coupd closed loop (%s): %d ops/worker, batch=%d, cells=%d bins=%d zipf=%.2f reads=%d, GOMAXPROCS=%d",
+			kind, *ops, *batch, *cells, *bins, *zipf, *reads, runtime.GOMAXPROCS(0)),
+		Headers: []string{"workers", "ns/op", "±ci95", "updates/s"},
+	}
+	var points []point
+	var worstCI float64
+	for _, th := range threads {
+		c := swbench.Config{
+			Kind: kind, Impl: swbench.ImplCommute, Threads: th, Ops: *ops,
+			Cells: *cells, Bins: *bins, ZipfS: *zipf, ReadEvery: *reads, Seed: *seed,
+			NewDriver: swbench.HTTPDriver(base, *batch, nil),
+		}
+		results, mean, ci, err := swbench.Measure(c, *reps)
+		if err != nil {
+			fail(1, err)
+		}
+		ups := make([]float64, len(results))
+		for i, r := range results {
+			ups[i] = r.MOpsPerSec * 1e6
+		}
+		upsMean, upsCI := stats.Mean(ups), stats.CI95(ups)
+		if mean > 0 && ci/mean > worstCI {
+			worstCI = ci / mean
+		}
+		t.AddRow(fmt.Sprint(th), stats.F(mean), stats.F(ci), stats.F(upsMean))
+		points = append(points, point{
+			Kind: string(kind), Threads: th, Batch: *batch, Reps: *reps,
+			MeanNsPerOp: mean, CI95NsPerOp: ci,
+			UpdatesPerS: upsMean, CI95UpdatesS: upsCI,
+		})
+	}
+	t.AddNote("every run equivalence-checked: server-side reduction delta == client applied-op count (threads*ops), exactly")
+	if *reps > 1 {
+		t.AddNote("each cell is the mean of %d seeded reps; worst-case ±CI95 is %.1f%% of the mean", *reps, worstCI*100)
+	}
+	if *asJSON {
+		blob, err := json.MarshalIndent(points, "", "  ")
+		if err != nil {
+			fail(1, err)
+		}
+		fmt.Printf("%s\n", blob)
+		return
+	}
+	fmt.Println(t.String())
+}
+
+func fail(code int, err error) {
+	fmt.Fprintf(os.Stderr, "coupload: %v\n", err)
+	os.Exit(code)
+}
+
+func parseThreads(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return swbench.DefaultThreads(0), nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad worker count %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}

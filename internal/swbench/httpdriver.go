@@ -1,0 +1,251 @@
+package swbench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/pkg/coupd"
+)
+
+// HTTPDriver returns a DriverMaker that ships the traffic to a coupd
+// server at baseURL as batched POST /v1/batch requests of batch records
+// each — the closed-loop load-generator transport. Counter cells map to
+// coupd counters "swc<i>", the histogram to one coupd histogram "swh";
+// Total is measured as the delta of the server-side reduction across the
+// run, so repeated runs against one server (and its accumulated state)
+// still validate exactly.
+//
+// A nil client gets a transport sized for one keep-alive connection per
+// worker. On 429 the worker backs off (jittered milliseconds, the
+// header's whole-second Retry-After being a ceiling) and retries the
+// same batch, so saturation throttles the closed loop instead of losing
+// updates.
+func HTTPDriver(baseURL string, batch int, client *http.Client) DriverMaker {
+	return func(c Config, cells int) (Driver, error) {
+		if batch < 1 {
+			return nil, fmt.Errorf("swbench: http driver needs batch >= 1, got %d", batch)
+		}
+		if client == nil {
+			client = &http.Client{
+				Transport: &http.Transport{
+					MaxIdleConns:        c.Threads + 2,
+					MaxIdleConnsPerHost: c.Threads + 2,
+				},
+				Timeout: 30 * time.Second,
+			}
+		}
+		d := &httpDriver{
+			base:   strings.TrimRight(baseURL, "/"),
+			client: client,
+			batch:  batch,
+			kind:   c.Kind,
+			bins:   cells,
+		}
+		if c.Kind == KindHist {
+			d.names = []string{"swh"}
+		} else {
+			d.names = make([]string, cells)
+			for i := range d.names {
+				d.names[i] = "swc" + strconv.Itoa(i)
+			}
+		}
+		// Baseline the server-side totals so Total reports this run's delta.
+		base, err := d.reduce()
+		if err != nil {
+			return nil, err
+		}
+		d.baseTotal = base
+		return d, nil
+	}
+}
+
+type httpDriver struct {
+	base      string
+	client    *http.Client
+	batch     int
+	kind      Kind
+	names     []string
+	bins      int
+	baseTotal uint64
+}
+
+func (d *httpDriver) Worker(id int) Worker {
+	w := &httpWorker{d: d}
+	w.buf = make([]coupd.Update, 0, d.batch)
+	return w
+}
+
+func (d *httpDriver) Total() (uint64, error) {
+	now, err := d.reduce()
+	if err != nil {
+		return 0, err
+	}
+	return now - d.baseTotal, nil
+}
+
+func (d *httpDriver) Close() error {
+	d.client.CloseIdleConnections()
+	return nil
+}
+
+// reduce sums the server-side reductions over the driven structures.
+// Structures the server has never seen count zero (first runs start from
+// nothing).
+func (d *httpDriver) reduce() (uint64, error) {
+	var sum uint64
+	for _, name := range d.names {
+		snap, status, err := d.snapshot(name)
+		if err != nil {
+			return 0, err
+		}
+		if status == http.StatusNotFound {
+			continue
+		}
+		if status != http.StatusOK {
+			return 0, fmt.Errorf("swbench: snapshot %s: HTTP %d", name, status)
+		}
+		if d.kind == KindHist {
+			sum += snap.Total
+		} else {
+			sum += uint64(snap.Value)
+		}
+	}
+	return sum, nil
+}
+
+func (d *httpDriver) snapshot(name string) (coupd.Snapshot, int, error) {
+	resp, err := d.client.Get(d.base + "/v1/snapshot/" + name)
+	if err != nil {
+		return coupd.Snapshot{}, 0, fmt.Errorf("swbench: snapshot %s: %w", name, err)
+	}
+	defer drainClose(resp.Body)
+	var snap coupd.Snapshot
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+			return coupd.Snapshot{}, 0, fmt.Errorf("swbench: snapshot %s: %w", name, err)
+		}
+	}
+	return snap, resp.StatusCode, nil
+}
+
+// httpWorker buffers one goroutine's updates client-side — its U-state
+// buffer — and flushes full batches over its keep-alive connection.
+type httpWorker struct {
+	d    *httpDriver
+	buf  []coupd.Update
+	body bytes.Buffer
+	err  error
+}
+
+func (w *httpWorker) Update(cell int) {
+	if w.err != nil {
+		return // fail fast; Run surfaces the first error after the loop
+	}
+	var u coupd.Update
+	if w.d.kind == KindHist {
+		u = coupd.Update{Name: w.d.names[0], Kind: string(coupd.KindHist), Op: "inc",
+			Args: []int64{int64(cell)}, Bins: w.d.bins}
+	} else {
+		u = coupd.Update{Name: w.d.names[cell], Kind: string(coupd.KindCounter), Op: "inc"}
+	}
+	w.buf = append(w.buf, u)
+	if len(w.buf) >= w.d.batch {
+		w.flushBatch()
+	}
+}
+
+func (w *httpWorker) Read(cell int) uint64 {
+	if w.err != nil {
+		return 0
+	}
+	// A read must observe this worker's own prior updates, so deliver the
+	// buffered batch first — the U->S downgrade a read forces.
+	w.flushBatch()
+	name := w.d.names[0]
+	if w.d.kind != KindHist {
+		name = w.d.names[cell]
+	}
+	snap, status, err := w.d.snapshot(name)
+	if err != nil {
+		w.err = err
+		return 0
+	}
+	if status != http.StatusOK {
+		w.err = fmt.Errorf("swbench: snapshot %s: HTTP %d", name, status)
+		return 0
+	}
+	if w.d.kind == KindHist {
+		if cell < len(snap.Bins) {
+			return snap.Bins[cell]
+		}
+		return 0
+	}
+	return uint64(snap.Value)
+}
+
+func (w *httpWorker) Flush() error {
+	if w.err == nil {
+		w.flushBatch()
+	}
+	return w.err
+}
+
+// flushBatch POSTs the buffered records, retrying on 429 with a small
+// backoff. It records the first hard failure in w.err and drops the
+// batch (the run is already invalid at that point).
+func (w *httpWorker) flushBatch() {
+	if len(w.buf) == 0 || w.err != nil {
+		return
+	}
+	w.body.Reset()
+	if err := json.NewEncoder(&w.body).Encode(coupd.BatchRequest{Updates: w.buf}); err != nil {
+		w.err = err
+		return
+	}
+	payload := w.body.Bytes()
+	backoff := time.Millisecond
+	for attempt := 0; ; attempt++ {
+		resp, err := w.d.client.Post(w.d.base+"/v1/batch", "application/json", bytes.NewReader(payload))
+		if err != nil {
+			w.err = fmt.Errorf("swbench: batch: %w", err)
+			return
+		}
+		status := resp.StatusCode
+		if status == http.StatusOK {
+			var br coupd.BatchResponse
+			err := json.NewDecoder(resp.Body).Decode(&br)
+			drainClose(resp.Body)
+			if err != nil {
+				w.err = fmt.Errorf("swbench: batch response: %w", err)
+			} else if br.Applied != len(w.buf) {
+				w.err = fmt.Errorf("swbench: batch applied %d of %d records", br.Applied, len(w.buf))
+			}
+			w.buf = w.buf[:0]
+			return
+		}
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		drainClose(resp.Body)
+		if status != http.StatusTooManyRequests || attempt >= 10_000 {
+			w.err = fmt.Errorf("swbench: batch: HTTP %d: %s", status, bytes.TrimSpace(msg))
+			return
+		}
+		// Saturated: hold the batch in our buffer and retry. The server's
+		// Retry-After is whole seconds; a closed-loop rig recovers much
+		// sooner, so back off in milliseconds up to that ceiling.
+		time.Sleep(backoff)
+		if backoff < 32*time.Millisecond {
+			backoff *= 2
+		}
+	}
+}
+
+func drainClose(body io.ReadCloser) {
+	_, _ = io.Copy(io.Discard, body)
+	_ = body.Close()
+}

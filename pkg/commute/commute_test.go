@@ -418,3 +418,64 @@ func TestShardedRejectsNilOp(t *testing.T) {
 		t.Error("NewSharded(nil) accepted")
 	}
 }
+
+// TestSnapshotHelpers: every structure's Snapshot reduces into a reused
+// buffer with one consistent contract — fill the prefix, allocate only
+// when the buffer is too small, observe all prior updates.
+func TestSnapshotHelpers(t *testing.T) {
+	c := MustCounter()
+	c.Add(41)
+	c.Inc()
+	if got := c.Snapshot(nil); len(got) != 1 || got[0] != 42 {
+		t.Errorf("Counter.Snapshot(nil) = %v, want [42]", got)
+	}
+	buf := make([]int64, 8)
+	if got := c.Snapshot(buf); len(got) != 1 || got[0] != 42 || &got[0] != &buf[0] {
+		t.Errorf("Counter.Snapshot did not reuse the buffer: %v", got)
+	}
+
+	m := MustMinMax()
+	if got := m.Snapshot(buf); got[0] != 0 {
+		t.Errorf("empty MinMax.Snapshot n = %d, want 0", got[0])
+	}
+	m.Observe(-3)
+	m.Observe(7)
+	m.Observe(5)
+	if got := m.Snapshot(buf); len(got) != 3 || got[0] != 3 || got[1] != -3 || got[2] != 7 {
+		t.Errorf("MinMax.Snapshot = %v, want [3 -3 7]", got)
+	}
+
+	r := MustRefCount(2, RefSharded)
+	r.Inc()
+	if got := r.Snapshot(buf); len(got) != 2 || got[0] != 3 || got[1] != 0 {
+		t.Errorf("RefCount.Snapshot = %v, want [3 0]", got)
+	}
+	r.Escalate()
+	if got := r.Snapshot(buf); got[0] != 3 || got[1] != 1 {
+		t.Errorf("escalated RefCount.Snapshot = %v, want [3 1]", got)
+	}
+}
+
+// TestSnapshotHelpersNoAlloc pins the no-alloc contract: with a large
+// enough destination buffer, no Snapshot allocates.
+func TestSnapshotHelpersNoAlloc(t *testing.T) {
+	c := MustCounter()
+	c.Inc()
+	h := MustHistogram(64)
+	h.Inc(3)
+	m := MustMinMax()
+	m.Observe(9)
+	r := MustRefCount(1, RefSharded)
+	i64 := make([]int64, 8)
+	u64 := make([]uint64, 64)
+	for name, fn := range map[string]func(){
+		"Counter.Snapshot":   func() { c.Snapshot(i64) },
+		"Histogram.Snapshot": func() { h.Snapshot(u64) },
+		"MinMax.Snapshot":    func() { m.Snapshot(i64) },
+		"RefCount.Snapshot":  func() { r.Snapshot(i64) },
+	} {
+		if allocs := testing.AllocsPerRun(100, fn); allocs != 0 {
+			t.Errorf("%s allocates %.0f per call with a sized buffer", name, allocs)
+		}
+	}
+}

@@ -64,5 +64,17 @@ func (c *Counter) Drain() int64 {
 	return int64(acc)
 }
 
+// Snapshot reduces the counter into dst and returns dst[:1], allocating
+// only when cap(dst) < 1: the wire-format read-side helper, sharing
+// Histogram.Snapshot's reuse-a-buffer signature. dst[0] is Value().
+func (c *Counter) Snapshot(dst []int64) []int64 {
+	if cap(dst) < 1 {
+		dst = make([]int64, 1)
+	}
+	dst = dst[:1]
+	dst[0] = c.Value()
+	return dst
+}
+
 // Shards returns the shard count.
 func (c *Counter) Shards() int { return len(c.shards) }

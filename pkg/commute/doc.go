@@ -56,6 +56,22 @@
 // parallel reduction gives. Counter.Value and Histogram.Snapshot observe
 // every update that happened-before the call.
 //
+// # Read-side snapshot helpers
+//
+// Every structure exposes a Snapshot method with one signature shape:
+// reduce the structure's full state into a caller-owned buffer, allocate
+// only when the buffer is too small, return the filled prefix. These are
+// the wire-format read path — a server (pkg/coupd) snapshotting thousands
+// of structures per second reuses one buffer and never allocates:
+//
+//	Histogram.Snapshot(dst []uint64) []uint64  // one element per bin
+//	Counter.Snapshot(dst []int64) []int64      // [value]
+//	MinMax.Snapshot(dst []int64) []int64       // [n, min, max]
+//	RefCount.Snapshot(dst []int64) []int64     // [count, escalated 0/1]
+//
+// Each Snapshot observes every update that happened-before the call, the
+// same guarantee as the structure's scalar readers.
+//
 // # Choosing shard counts
 //
 // Structures default to the next power of two >= GOMAXPROCS shards, the

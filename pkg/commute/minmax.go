@@ -108,5 +108,31 @@ func (m *MinMax) Max() (v int64, ok bool) {
 	return v, ok
 }
 
+// Snapshot reduces the tracker into dst and returns dst[:3], allocating
+// only when cap(dst) < 3 — the same reuse-a-buffer signature as
+// Histogram.Snapshot. The layout is [n, min, max]; when n is 0 nothing
+// has been observed and min/max hold the fold identities
+// (math.MaxInt64 / math.MinInt64), exactly as Min and Max report ok=false.
+func (m *MinMax) Snapshot(dst []int64) []int64 {
+	if cap(dst) < 3 {
+		dst = make([]int64, 3)
+	}
+	dst = dst[:3]
+	var n uint64
+	mn, mx := int64(math.MaxInt64), int64(math.MinInt64)
+	for i := range m.shards {
+		s := &m.shards[i]
+		n += s.n.Load()
+		if v := s.min.Load(); v < mn {
+			mn = v
+		}
+		if v := s.max.Load(); v > mx {
+			mx = v
+		}
+	}
+	dst[0], dst[1], dst[2] = int64(n), mn, mx
+	return dst
+}
+
 // Shards returns the shard count.
 func (m *MinMax) Shards() int { return len(m.shards) }

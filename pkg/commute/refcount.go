@@ -230,6 +230,23 @@ func (r *RefCount) Read() int64 {
 	return acc
 }
 
+// Snapshot reduces the counter into dst and returns dst[:2], allocating
+// only when cap(dst) < 2 — the same reuse-a-buffer signature as
+// Histogram.Snapshot. The layout is [count, escalated]: dst[0] is Read()
+// and dst[1] is 1 once the counter has switched to exact central mode.
+func (r *RefCount) Snapshot(dst []int64) []int64 {
+	if cap(dst) < 2 {
+		dst = make([]int64, 2)
+	}
+	dst = dst[:2]
+	dst[0] = r.Read()
+	dst[1] = 0
+	if r.Escalated() {
+		dst[1] = 1
+	}
+	return dst
+}
+
 // Escalate folds every shard into the central counter and switches the
 // counter to exact mode permanently — the percpu-ref kill: call it when
 // the object leaves its hot phase and exact zero detection starts to

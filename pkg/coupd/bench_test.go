@@ -1,0 +1,98 @@
+package coupd
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// BenchmarkCoupdBatch measures the full server-side batch path — HTTP
+// routing, pooled decode, per-record registry fan-in — for a 256-record
+// mixed batch through ServeHTTP (no network), the same shape coupload
+// sends. Tracked in BENCH_baseline.json: a decode-path or fan-in
+// regression shows up as allocs/op or ns/op drift.
+func BenchmarkCoupdBatch(b *testing.B) {
+	s, err := New(WithMaxInFlight(64))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var req BatchRequest
+	for i := 0; i < 64; i++ {
+		req.Updates = append(req.Updates,
+			Update{Name: "hits", Kind: "counter", Op: "inc"},
+			Update{Name: "lat", Kind: "hist", Op: "inc", Args: []int64{int64(i % 512)}, Bins: 512},
+			Update{Name: "span", Kind: "minmax", Op: "observe", Args: []int64{int64(i)}},
+			Update{Name: "refs", Kind: "refcount", Op: "inc"},
+		)
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rd := bytes.NewReader(body)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rd.Reset(body)
+		r := httptest.NewRequest("POST", "/v1/batch", rd)
+		w := httptest.NewRecorder()
+		s.ServeHTTP(w, r)
+		if w.Code != http.StatusOK {
+			b.Fatalf("HTTP %d: %s", w.Code, w.Body)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(len(req.Updates)*b.N)/b.Elapsed().Seconds(), "updates/s")
+	if got := s.updates.Value(); got != int64(len(req.Updates)*b.N) {
+		b.Fatalf("server reduced %d updates, applied %d", got, len(req.Updates)*b.N)
+	}
+}
+
+// BenchmarkCoupdSnapshot measures reduce-on-read for a 512-bin histogram
+// through the handler (pooled scratch, no per-request allocation of the
+// reduction buffers).
+func BenchmarkCoupdSnapshot(b *testing.B) {
+	s, err := New()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 512; i++ {
+		u := Update{Name: "lat", Kind: "hist", Op: "inc", Args: []int64{int64(i)}, Bins: 512}
+		if err := s.reg.Apply(&u); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := httptest.NewRequest("GET", "/v1/snapshot/lat", nil)
+		w := httptest.NewRecorder()
+		s.ServeHTTP(w, r)
+		if w.Code != http.StatusOK {
+			b.Fatalf("HTTP %d: %s", w.Code, w.Body)
+		}
+	}
+}
+
+// BenchmarkRegistryApply isolates the registry fan-in (no HTTP, no
+// decode): one pre-parsed counter update through Apply.
+func BenchmarkRegistryApply(b *testing.B) {
+	g := NewRegistry()
+	u := Update{Name: "hits", Kind: "counter", Op: "inc"}
+	if err := g.Apply(&u); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := g.Apply(&u); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if got := fmt.Sprint(g.Len()); got != "1" {
+		b.Fatalf("registry grew to %s structures", got)
+	}
+}

@@ -1,0 +1,67 @@
+// Package coupd is the commutative-aggregation service: pkg/commute's
+// sharded structures — counters, histograms, min/max trackers, reference
+// counts — served over HTTP/JSON as named, durable-for-the-process
+// aggregation cells, so the paper's update/read asymmetry survives a
+// network boundary. The cmd/coupd binary wraps this package; cmd/coupload
+// is its closed-loop load generator.
+//
+// # The paper's states, one layer up
+//
+// The COUP protocol (Zhang, Harrison & Sanchez, MICRO 2015) lets cores
+// hold a line in U state: private, update-only, no read permission, with
+// a reduction folding the copies when someone finally reads. Every layer
+// of this server replays that shape at a coarser grain:
+//
+//	coherence protocol (paper)       pkg/commute (process)   pkg/coupd (network)
+//	-------------------------------  ----------------------  -------------------------
+//	U state: private update-only     per-P padded shard      client-side batch buffer:
+//	  copy of a line                                           updates held locally,
+//	                                                           invisible until flushed
+//	commutative-update instruction   Apply/Add/Observe       one Update record in a
+//	                                                           POST /v1/batch body
+//	reduction unit folding U copies  Op.Combine over shards  GET /v1/snapshot: the
+//	  on a GetS                                                server folds shards into
+//	                                                           the response (S state)
+//	bounded U-buffer capacity        shard count             bounded in-flight batch
+//	  (Sec 3.2 structures)                                     semaphore; 429 is the
+//	                                                           capacity eviction
+//
+// A batch is the network image of an update stream: records carry an
+// operation and its arguments, never a read, so the server fans them into
+// the sharded cells without ever serializing on the aggregate value.
+// Reads (snapshots) are rare and pay the whole reduction, exactly the
+// asymmetry Sec 3 argues update-heavy sharing wants. The batched-delta
+// framing also matches Shapiro & Preguiça's op-based commutative
+// replicated data types (arXiv:0710.1784): because the ops commute,
+// per-connection batch order is irrelevant and no cross-client
+// coordination is needed.
+//
+// # Endpoints
+//
+//	POST /v1/batch             apply a BatchRequest of Update records
+//	GET  /v1/snapshot/{name}   reduce one structure into a Snapshot
+//	GET  /v1/snapshot          reduce every structure (BulkSnapshot)
+//	GET  /v1/stats             service self-telemetry (Stats)
+//
+// Structures are created on first update (create-on-first-update, like a
+// metrics library's GetOrRegister); a later update naming the same
+// structure with a different kind is rejected with ErrKindMismatch.
+// Batches apply in order and are not atomic: on the first bad record the
+// server stops, reports the count applied so far, and returns 400 — the
+// typed sentinels in errors.go name every failure class.
+//
+// # Backpressure and shutdown
+//
+// At most MaxInFlight batches are processed concurrently (including
+// request-body decode); beyond that the server answers 429 with a
+// Retry-After header rather than queueing unboundedly — saturation is
+// pushed back to clients, who hold their batches in their own U-state
+// buffers and retry. Drain flips the server into a draining state (new
+// batches get 503), waits for in-flight batches to land, and leaves
+// snapshots serving, so a shutdown loses no acknowledged update.
+//
+// The server's own telemetry — batch and update counters, reduce-latency
+// extremes, batch-size histogram, in-flight depth — is kept in
+// pkg/commute structures, so the service's hottest metadata words enjoy
+// the same commutative treatment it sells.
+package coupd

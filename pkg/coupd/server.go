@@ -1,0 +1,295 @@
+package coupd
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/bits"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/pkg/commute"
+)
+
+// MaxBatchBytes bounds a batch request body.
+const MaxBatchBytes = 8 << 20
+
+// Server serves a Registry over HTTP. Build one with New, mount it
+// anywhere an http.Handler goes (it routes /v1/... itself), and call
+// Drain before process exit so in-flight batches land.
+type Server struct {
+	reg         *Registry
+	maxInFlight int
+	sem         chan struct{}
+
+	drainMu  sync.RWMutex // write-held only to flip draining
+	draining bool
+	inflight sync.WaitGroup
+
+	mux   *http.ServeMux
+	start time.Time
+
+	// Self-telemetry, dogfooded in pkg/commute structures: the server's
+	// hottest metadata words take the same update-only fast path it
+	// serves, and /v1/stats is just another reduce-on-read.
+	batches     *commute.Counter   // accepted batches
+	updates     *commute.Counter   // records applied
+	rejected    *commute.Counter   // 429s
+	snapshots   *commute.Counter   // snapshot requests served
+	reduceSum   *commute.Counter   // cumulative snapshot reduce ns
+	reduceNs    *commute.MinMax    // per-request reduce latency extremes
+	batchLen    *commute.Histogram // log2-bucketed accepted batch sizes
+	depth       *commute.Counter   // in-flight batches right now
+	batchReqs   sync.Pool          // *BatchRequest, decode reuse
+	snapScratch sync.Pool          // *snapScratch, reduction reuse
+}
+
+// Option configures New.
+type Option func(*Server) error
+
+// WithMaxInFlight bounds concurrently-processed batches (the
+// backpressure knob). The default is 4*GOMAXPROCS.
+func WithMaxInFlight(n int) Option {
+	return func(s *Server) error {
+		if n < 1 {
+			return fmt.Errorf("coupd: max in-flight must be >= 1, got %d", n)
+		}
+		s.maxInFlight = n
+		return nil
+	}
+}
+
+// New builds a Server over a fresh registry.
+func New(opts ...Option) (*Server, error) {
+	s := &Server{
+		reg:       NewRegistry(),
+		start:     time.Now(),
+		batches:   commute.MustCounter(),
+		updates:   commute.MustCounter(),
+		rejected:  commute.MustCounter(),
+		snapshots: commute.MustCounter(),
+		reduceSum: commute.MustCounter(),
+		reduceNs:  commute.MustMinMax(),
+		batchLen:  commute.MustHistogram(16),
+		depth:     commute.MustCounter(),
+	}
+	for _, opt := range opts {
+		if opt == nil {
+			continue
+		}
+		if err := opt(s); err != nil {
+			return nil, err
+		}
+	}
+	if s.maxInFlight == 0 {
+		s.maxInFlight = 4 * runtime.GOMAXPROCS(0)
+	}
+	s.sem = make(chan struct{}, s.maxInFlight)
+	s.batchReqs.New = func() any { return &BatchRequest{} }
+	s.snapScratch.New = func() any { return &snapScratch{} }
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.mux.HandleFunc("GET /v1/snapshot/{name}", s.handleSnapshot)
+	s.mux.HandleFunc("GET /v1/snapshot", s.handleBulkSnapshot)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	return s, nil
+}
+
+// Registry exposes the server's structure registry (for embedding the
+// server in a larger process that also updates in-process).
+func (s *Server) Registry() *Registry { return s.reg }
+
+// ServeHTTP makes Server an http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Drain stops accepting batches (they get 503 + ErrDraining) and waits
+// for every in-flight batch to land or ctx to expire. Snapshots and
+// stats keep serving, so an operator can read final state after the
+// write plane is quiesced. Draining is permanent for this Server.
+func (s *Server) Drain(ctx context.Context) error {
+	s.drainMu.Lock()
+	s.draining = true
+	s.drainMu.Unlock()
+	// The flag flip above synchronizes with every in-flight Add: once the
+	// write lock is held, no handler is between its draining check and
+	// its WaitGroup.Add, so Wait cannot race a zero-to-one Add.
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("coupd: drain: %w (in-flight batches still running)", ctx.Err())
+	}
+}
+
+// enterBatch gates one batch past the draining flag and the in-flight
+// semaphore; it returns the error that should be served, or nil with a
+// release func the handler must call when the batch lands.
+func (s *Server) enterBatch() (release func(), err error) {
+	s.drainMu.RLock()
+	if s.draining {
+		s.drainMu.RUnlock()
+		return nil, ErrDraining
+	}
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		s.drainMu.RUnlock()
+		s.rejected.Inc()
+		return nil, ErrSaturated
+	}
+	s.inflight.Add(1)
+	s.drainMu.RUnlock()
+	s.depth.Inc()
+	return func() {
+		s.depth.Dec()
+		<-s.sem
+		s.inflight.Done()
+	}, nil
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	release, err := s.enterBatch()
+	if err != nil {
+		status := http.StatusServiceUnavailable
+		if errors.Is(err, ErrSaturated) {
+			status = http.StatusTooManyRequests
+			// Sub-second granularity is not expressible here; clients with
+			// tighter loops (the coupload driver) back off in milliseconds
+			// and treat this as a ceiling.
+			w.Header().Set("Retry-After", "1")
+		}
+		writeJSON(w, status, ErrorResponse{Error: err.Error()})
+		return
+	}
+	defer release()
+
+	req := s.batchReqs.Get().(*BatchRequest)
+	defer func() {
+		req.Updates = req.Updates[:0]
+		s.batchReqs.Put(req)
+	}()
+	// json.Decode merges into pre-existing slice elements, so a record
+	// that omits a field would inherit the previous batch's value; zero
+	// the pooled backing array so reuse can't leak records across batches.
+	clear(req.Updates[:cap(req.Updates)])
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, MaxBatchBytes))
+	if err := dec.Decode(req); err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: fmt.Sprintf("coupd: %v: bad batch body: %v", ErrBadUpdate, err)})
+		return
+	}
+	applied := 0
+	for i := range req.Updates {
+		if err := s.reg.Apply(&req.Updates[i]); err != nil {
+			// Batches are not atomic: report how far we got and stop.
+			s.countBatch(applied)
+			writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: fmt.Sprintf("record %d: %v", i, err), Applied: applied})
+			return
+		}
+		applied++
+	}
+	s.countBatch(applied)
+	writeJSON(w, http.StatusOK, BatchResponse{Applied: applied})
+}
+
+// countBatch records one accepted batch in the telemetry structures.
+func (s *Server) countBatch(applied int) {
+	s.batches.Inc()
+	s.updates.Add(int64(applied))
+	bucket := 0
+	if applied > 1 {
+		bucket = bits.Len(uint(applied)) - 1
+	}
+	if bucket > s.batchLen.Bins()-1 {
+		bucket = s.batchLen.Bins() - 1
+	}
+	s.batchLen.Inc(bucket)
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	sc := s.snapScratch.Get().(*snapScratch)
+	defer s.snapScratch.Put(sc)
+	var snap Snapshot
+	t0 := time.Now()
+	err := s.reg.Snapshot(r.PathValue("name"), sc, &snap)
+	s.countReduce(time.Since(t0))
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, ErrorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, &snap)
+}
+
+func (s *Server) handleBulkSnapshot(w http.ResponseWriter, r *http.Request) {
+	sc := s.snapScratch.Get().(*snapScratch)
+	defer s.snapScratch.Put(sc)
+	names := s.reg.Names()
+	bulk := BulkSnapshot{Structures: make([]Snapshot, 0, len(names))}
+	t0 := time.Now()
+	for _, name := range names {
+		var snap Snapshot
+		// The snapshot borrows sc's buffers, which the next iteration
+		// reuses; histogram bins must survive until the response is
+		// serialized, so clone them.
+		if err := s.reg.Snapshot(name, sc, &snap); err != nil {
+			continue // deleted between Names and here: impossible today, harmless
+		}
+		if snap.Bins != nil {
+			snap.Bins = append([]uint64(nil), snap.Bins...)
+		}
+		bulk.Structures = append(bulk.Structures, snap)
+	}
+	s.countReduce(time.Since(t0))
+	writeJSON(w, http.StatusOK, &bulk)
+}
+
+// countReduce records one snapshot request's reduction latency.
+func (s *Server) countReduce(d time.Duration) {
+	s.snapshots.Inc()
+	s.reduceSum.Add(d.Nanoseconds())
+	s.reduceNs.Observe(d.Nanoseconds())
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	uptime := time.Since(s.start).Seconds()
+	st := Stats{
+		UptimeSec:    uptime,
+		Structures:   int64(s.reg.Len()),
+		Batches:      s.batches.Value(),
+		Updates:      s.updates.Value(),
+		Rejected:     s.rejected.Value(),
+		Snapshots:    s.snapshots.Value(),
+		InFlight:     s.depth.Value(),
+		MaxInFlight:  s.maxInFlight,
+		BatchLenLog2: s.batchLen.Snapshot(nil),
+	}
+	s.drainMu.RLock()
+	st.Draining = s.draining
+	s.drainMu.RUnlock()
+	if uptime > 0 {
+		st.BatchesPerSec = float64(st.Batches) / uptime
+		st.UpdatesPerSec = float64(st.Updates) / uptime
+	}
+	if n := s.reduceNs.N(); n > 0 {
+		mn, _ := s.reduceNs.Min()
+		mx, _ := s.reduceNs.Max()
+		st.ReduceNsMin, st.ReduceNsMax = mn, mx
+		st.ReduceNsMean = float64(s.reduceSum.Value()) / float64(n)
+	}
+	writeJSON(w, http.StatusOK, &st)
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// Encode errors past the header write are undeliverable; the client
+	// sees a truncated body and reports the transport error.
+	_ = json.NewEncoder(w).Encode(body)
+}

@@ -1,0 +1,88 @@
+package coupd
+
+// Wire types: the JSON bodies the four endpoints exchange. They are
+// plain data so cmd/coupload, the swbench HTTP driver, and any other
+// client can share them with the server.
+
+// Update is one record of a batch: apply Op with Args to the structure
+// Name of kind Kind, creating the structure on first touch. Args is a
+// small positional list (see the per-kind op tables in registry.go);
+// Bins sizes a histogram at creation time only and is ignored after.
+type Update struct {
+	Name string  `json:"name"`
+	Kind string  `json:"kind"`
+	Op   string  `json:"op"`
+	Args []int64 `json:"args,omitempty"`
+	Bins int     `json:"bins,omitempty"`
+}
+
+// BatchRequest is the POST /v1/batch body: many updates, one request.
+// Records apply in order; the batch is not atomic (see BatchResponse).
+type BatchRequest struct {
+	Updates []Update `json:"updates"`
+}
+
+// BatchResponse acknowledges a batch. Applied counts the records that
+// landed; on success it equals len(Updates).
+type BatchResponse struct {
+	Applied int `json:"applied"`
+}
+
+// ErrorResponse is the body of every non-2xx answer. Applied carries the
+// records applied before a mid-batch failure (0 for rejected batches).
+type ErrorResponse struct {
+	Error   string `json:"error"`
+	Applied int    `json:"applied"`
+}
+
+// Snapshot is one structure's reduced state: the server folds every
+// shard at request time (reduce-on-read), so the values observe every
+// update acknowledged before the request. Which fields are meaningful
+// depends on Kind:
+//
+//	counter:  Value
+//	hist:     Bins (one element per bucket), Total (their sum)
+//	minmax:   N, Min, Max (Min/Max only meaningful when N > 0)
+//	refcount: Value, Escalated
+type Snapshot struct {
+	Name      string   `json:"name"`
+	Kind      string   `json:"kind"`
+	Value     int64    `json:"value,omitempty"`
+	Escalated bool     `json:"escalated,omitempty"`
+	Bins      []uint64 `json:"bins,omitempty"`
+	Total     uint64   `json:"total,omitempty"`
+	N         uint64   `json:"n,omitempty"`
+	Min       int64    `json:"min,omitempty"`
+	Max       int64    `json:"max,omitempty"`
+}
+
+// BulkSnapshot is the GET /v1/snapshot body: every structure, sorted by
+// name.
+type BulkSnapshot struct {
+	Structures []Snapshot `json:"structures"`
+}
+
+// Stats is the GET /v1/stats body: service self-telemetry, itself kept
+// in pkg/commute structures and reduced on read like any snapshot.
+type Stats struct {
+	UptimeSec  float64 `json:"uptime_sec"`
+	Structures int64   `json:"structures"`
+	// Batch plane.
+	Batches       int64   `json:"batches"`  // accepted batches
+	Updates       int64   `json:"updates"`  // records applied
+	Rejected      int64   `json:"rejected"` // 429s (saturation)
+	BatchesPerSec float64 `json:"batches_per_sec"`
+	UpdatesPerSec float64 `json:"updates_per_sec"`
+	// BatchLenLog2[i] counts accepted batches with 2^i <= len < 2^(i+1)
+	// (index 0 is the empty-or-single-record bucket).
+	BatchLenLog2 []uint64 `json:"batch_len_log2"`
+	// Read plane.
+	Snapshots    int64   `json:"snapshots"`      // snapshot requests served
+	ReduceNsMin  int64   `json:"reduce_ns_min"`  // fastest single reduction
+	ReduceNsMax  int64   `json:"reduce_ns_max"`  // slowest
+	ReduceNsMean float64 `json:"reduce_ns_mean"` // total/snapshots
+	// Queue plane.
+	InFlight    int64 `json:"in_flight"`     // batches being processed now
+	MaxInFlight int   `json:"max_in_flight"` // the semaphore bound
+	Draining    bool  `json:"draining"`
+}
