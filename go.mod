@@ -1,3 +1,12 @@
 module repro
 
 go 1.24
+
+// In-module developer tools, runnable as `go tool <name>`. Both live in
+// this repository, so pinning them here adds no external requirement and
+// keeps offline builds working. External tools (staticcheck, govulncheck)
+// are pinned in go.tools.mod — see that file for why they are split out.
+tool (
+	repro/cmd/benchjson
+	repro/cmd/coupvet
+)

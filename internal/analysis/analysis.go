@@ -1,0 +1,170 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one named check. Run inspects a single type-checked
+// package through its Pass and reports findings with Pass.Reportf.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics (short, lower-case).
+	Name string
+	// Doc is the one-paragraph description shown by coupvet's usage text.
+	Doc string
+	// Run executes the check. Returning an error aborts the whole vet run
+	// (a broken analyzer, not a finding); findings go through Pass.Reportf.
+	Run func(*Pass) error
+}
+
+// A Pass is one analyzer's view of one type-checked package.
+type Pass struct {
+	// Analyzer is the check being run (for diagnostic labels).
+	Analyzer *Analyzer
+	// Fset resolves token positions for every file in the package.
+	Fset *token.FileSet
+	// Files are the package's parsed source files, comments included.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// Info carries the type-checker's expression, object and selection
+	// tables for the package's syntax.
+	Info *types.Info
+	// Sizes gives target sizeof/alignof, for layout checks (padalign).
+	Sizes types.Sizes
+
+	diags *[]Diagnostic
+}
+
+// A Diagnostic is one finding, position-resolved for printing.
+type Diagnostic struct {
+	// Pos is the finding's resolved source position.
+	Pos token.Position
+	// Analyzer names the check that produced the finding.
+	Analyzer string
+	// Message describes the finding and, where possible, the fix.
+	Message string
+}
+
+// String formats the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Reportf records one finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// RunPass executes one analyzer over one package and returns its findings
+// sorted by position. The inputs mirror load.Package's fields; cmd/coupvet
+// and the antest harness both assemble passes through this single door.
+func RunPass(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, sizes types.Sizes) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	pass := &Pass{
+		Analyzer: a,
+		Fset:     fset,
+		Files:    files,
+		Pkg:      pkg,
+		Info:     info,
+		Sizes:    sizes,
+		diags:    &diags,
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, pkg.Path(), err)
+	}
+	Sort(diags)
+	return diags, nil
+}
+
+// Sort orders diagnostics by file, line, column, then analyzer name, the
+// stable order coupvet prints and CI diffs against.
+func Sort(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}
+
+// Source markers. Both are comment directives in the gofmt-protected
+// //lower:case form (no space after //), so formatting never rewrites
+// them. doc.go documents the contract each one asserts.
+const (
+	// MarkerHotPath marks a function as allocation-free steady state; it
+	// goes in the function's doc comment. hotalloc checks the body
+	// statically and, in -escapes mode, against the compiler's real
+	// escape analysis.
+	MarkerHotPath = "//coup:hotpath"
+	// MarkerUnorderedOK marks a range-over-map whose iteration order is
+	// genuinely irrelevant to any output; it goes on the range statement's
+	// line or the line above. detrange skips marked loops.
+	MarkerUnorderedOK = "//coup:unordered-ok"
+	// MarkerAllocOK marks a construct in a //coup:hotpath function that
+	// hotalloc's conservative model would flag but the compiler's escape
+	// analysis proves allocation-free (e.g. an interface argument the
+	// callee does not leak, so the box stays on the stack); it goes on the
+	// construct's line or the line above. -escapes keeps marked lines
+	// honest: a marker never silences a real "escapes to heap".
+	MarkerAllocOK = "//coup:alloc-ok"
+)
+
+// HasMarker reports whether the comment group carries the marker as a
+// stand-alone directive line (exact, or followed by explanatory text).
+func HasMarker(g *ast.CommentGroup, marker string) bool {
+	if g == nil {
+		return false
+	}
+	for _, c := range g.List {
+		text := strings.TrimRight(c.Text, " \t")
+		if text == marker || strings.HasPrefix(text, marker+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// MarkedLines returns the set of line numbers in f whose comments carry
+// marker, so statement-level markers work both trailing a line and on the
+// line immediately above it.
+func MarkedLines(fset *token.FileSet, f *ast.File, marker string) map[int]bool {
+	var lines map[int]bool
+	for _, g := range f.Comments {
+		for _, c := range g.List {
+			text := strings.TrimRight(c.Text, " \t")
+			if text == marker || strings.HasPrefix(text, marker+" ") {
+				if lines == nil {
+					lines = map[int]bool{}
+				}
+				lines[fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+	return lines
+}
+
+// LineMarked reports whether the line holding pos, or the line above it,
+// carries a marker previously collected with MarkedLines.
+func LineMarked(fset *token.FileSet, marked map[int]bool, pos token.Pos) bool {
+	if len(marked) == 0 {
+		return false
+	}
+	line := fset.Position(pos).Line
+	return marked[line] || marked[line-1]
+}

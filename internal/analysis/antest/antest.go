@@ -1,0 +1,95 @@
+// Package antest runs an analyzer over a fixture package and checks its
+// findings against `// want` comments — the analysistest idiom from
+// x/tools, reduced to what the repo's analyzers need. A fixture line that
+// should be flagged carries a trailing comment of the form
+//
+//	code() // want `regexp`
+//
+// (one or more backquoted regexps; each must be matched by a distinct
+// diagnostic on that line). Lines without a want comment must produce no
+// diagnostics, so every fixture is simultaneously its analyzer's positive
+// and negative case.
+package antest
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/load"
+)
+
+// wantRx pulls the backquoted patterns off a want comment.
+var wantRx = regexp.MustCompile("`([^`]*)`")
+
+// key locates one fixture line.
+type key struct {
+	file string
+	line int
+}
+
+// Run loads the fixture package in dir under the import path pkgpath,
+// runs a over it, and fails t on any mismatch between diagnostics and the
+// fixture's want comments. pkgpath matters to path-scoped analyzers
+// (detrange): the same fixture source can be run in and out of scope.
+func Run(t *testing.T, dir, pkgpath string, a *analysis.Analyzer) {
+	t.Helper()
+	pkg, err := load.Dir(dir, pkgpath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	diags, err := analysis.RunPass(a, pkg.Fset, pkg.Files, pkg.Types, pkg.Info, pkg.Sizes)
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+
+	// Collect want patterns per (file, line) from every comment.
+	wants := map[key][]*regexp.Regexp{}
+	for _, f := range pkg.Files {
+		for _, g := range f.Comments {
+			for _, c := range g.List {
+				text := c.Text
+				i := strings.Index(text, "want ")
+				if i < 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				k := key{pos.Filename, pos.Line}
+				for _, m := range wantRx.FindAllStringSubmatch(text[i:], -1) {
+					rx, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, m[1], err)
+					}
+					wants[k] = append(wants[k], rx)
+				}
+			}
+		}
+	}
+
+	// Match each diagnostic against that line's remaining patterns.
+	for _, d := range diags {
+		k := key{d.Pos.Filename, d.Pos.Line}
+		rxs := wants[k]
+		matched := -1
+		for i, rx := range rxs {
+			if rx.MatchString(d.Message) {
+				matched = i
+				break
+			}
+		}
+		if matched < 0 {
+			t.Errorf("%s: unexpected diagnostic: %s", fmtKey(k), d.Message)
+			continue
+		}
+		wants[k] = append(rxs[:matched], rxs[matched+1:]...)
+	}
+	for k, rxs := range wants {
+		for _, rx := range rxs {
+			t.Errorf("%s: no diagnostic matching %q", fmtKey(k), rx)
+		}
+	}
+}
+
+func fmtKey(k key) string { return fmt.Sprintf("%s:%d", k.file, k.line) }

@@ -1,0 +1,197 @@
+// Package detrange flags range-over-map loops whose nondeterministic
+// iteration order can leak into the repo's deterministic outputs.
+//
+// The golden contract — stats, experiment tables, and JSON byte-identical
+// across parallelism and across runs (ROADMAP, PRs 2 and 4) — dies
+// quietly the moment a map range feeds a table row, a stats field, or an
+// encoder, because Go randomizes map iteration per run. In the packages
+// that carry that contract, every map range is therefore guilty until
+// shown order-free:
+//
+//   - keyless ranges (`for range m`) only count, so order cannot matter;
+//   - bodies that only delete from the ranged map are the clear idiom;
+//   - loops whose enclosing function later sorts (sort.* / slices.Sort*)
+//     are the collect-then-sort idiom — order is washed out downstream;
+//   - loops marked //coup:unordered-ok (on the range line or the line
+//     above) are vouched for by a human.
+//
+// Everything else is reported. The scope is the golden-table-bearing
+// packages only; elsewhere map ranges are unrestricted.
+package detrange
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Scope lists the import-path prefixes carrying golden outputs. A package
+// is in scope when its path equals a prefix or sits beneath it.
+var Scope = []string{
+	"repro/internal/sim",
+	"repro/internal/exp",
+	"repro/internal/workloads",
+	"repro/pkg/coup",
+}
+
+// Analyzer is the detrange check.
+var Analyzer = &analysis.Analyzer{
+	Name: "detrange",
+	Doc: "flag range-over-map in golden-table-bearing packages unless keys " +
+		"are sorted, the loop is order-free, or //coup:unordered-ok vouches for it",
+	Run: run,
+}
+
+func inScope(path string) bool {
+	for _, p := range Scope {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) error {
+	// pkg/coupd sits under repro/pkg/coup only as a string prefix, not as
+	// a path element; the "/" boundary in inScope keeps it out, and the
+	// same goes for any future sibling.
+	if !inScope(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		marked := analysis.MarkedLines(pass.Fset, f, analysis.MarkerUnorderedOK)
+		// funcs tracks the enclosing function bodies on the walk path, so
+		// a range statement can look downstream for a sort call.
+		var funcs []*ast.BlockStmt
+		var walk func(n ast.Node) bool
+		walk = func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body == nil {
+					return false
+				}
+				funcs = append(funcs, n.Body)
+				ast.Inspect(n.Body, walk)
+				funcs = funcs[:len(funcs)-1]
+				return false
+			case *ast.FuncLit:
+				funcs = append(funcs, n.Body)
+				ast.Inspect(n.Body, walk)
+				funcs = funcs[:len(funcs)-1]
+				return false
+			case *ast.RangeStmt:
+				check(pass, marked, funcs, n)
+			}
+			return true
+		}
+		ast.Inspect(f, walk)
+	}
+	return nil
+}
+
+// check reports rng if it iterates a map in an order-sensitive way.
+func check(pass *analysis.Pass, marked map[int]bool, funcs []*ast.BlockStmt, rng *ast.RangeStmt) {
+	tv, ok := pass.Info.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	// Keyless iteration observes only the element count.
+	if rng.Key == nil && rng.Value == nil {
+		return
+	}
+	if analysis.LineMarked(pass.Fset, marked, rng.Pos()) {
+		return
+	}
+	if deleteOnly(pass, rng) {
+		return
+	}
+	if len(funcs) > 0 && sortedAfter(pass, funcs[len(funcs)-1], rng.End()) {
+		return
+	}
+	pass.Reportf(rng.Pos(), "range over map %s has nondeterministic order in a golden-output package; "+
+		"iterate sorted keys, sort the result, or mark the loop %s",
+		exprString(rng.X), analysis.MarkerUnorderedOK)
+}
+
+// deleteOnly reports whether the loop body is exactly the map-clear idiom:
+// nothing but delete calls on the ranged map.
+func deleteOnly(pass *analysis.Pass, rng *ast.RangeStmt) bool {
+	if len(rng.Body.List) == 0 {
+		return false
+	}
+	for _, st := range rng.Body.List {
+		es, ok := st.(*ast.ExprStmt)
+		if !ok {
+			return false
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok || len(call.Args) != 2 {
+			return false
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok || id.Name != "delete" {
+			return false
+		}
+		if b, ok := pass.Info.Uses[id].(*types.Builtin); !ok || b.Name() != "delete" {
+			return false
+		}
+		if exprString(call.Args[0]) != exprString(rng.X) {
+			return false
+		}
+	}
+	return true
+}
+
+// sortedAfter reports whether body contains a sort call lexically after
+// pos — the collect-then-sort idiom, where the loop's iteration order is
+// erased before anything downstream can observe it.
+func sortedAfter(pass *analysis.Pass, body *ast.BlockStmt, pos token.Pos) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		obj, ok := pass.Info.Uses[sel.Sel]
+		if !ok || obj.Pkg() == nil {
+			return true
+		}
+		switch obj.Pkg().Path() {
+		case "sort":
+			found = true
+		case "slices":
+			if strings.HasPrefix(obj.Name(), "Sort") {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// exprString renders a (small) expression for diagnostics and the
+// delete-idiom comparison.
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.ParenExpr:
+		return exprString(e.X)
+	}
+	return "expression"
+}

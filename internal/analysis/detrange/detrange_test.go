@@ -1,0 +1,20 @@
+package detrange_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/antest"
+	"repro/internal/analysis/detrange"
+)
+
+// TestScoped runs the fixture under a golden-output package path: the
+// order-leaking loops must be flagged, the sanctioned idioms must not.
+func TestScoped(t *testing.T) {
+	antest.Run(t, "testdata/src/scoped", "repro/internal/sim", detrange.Analyzer)
+}
+
+// TestUnscoped runs the leaky loop under an out-of-scope path; detrange
+// must stay silent.
+func TestUnscoped(t *testing.T) {
+	antest.Run(t, "testdata/src/unscoped", "example.com/unscoped", detrange.Analyzer)
+}

@@ -1,0 +1,79 @@
+// Package scoped exercises detrange under a golden-output import path:
+// the test loads it as repro/internal/sim, so every order-sensitive map
+// range must be flagged and every sanctioned idiom must pass.
+package scoped
+
+import "sort"
+
+var sink int
+
+// leaky folds map values straight into an output — the bug class.
+func leaky(m map[string]int) []int {
+	var out []int
+	for _, v := range m { // want `nondeterministic order`
+		out = append(out, v)
+	}
+	return out
+}
+
+// firstError returns an arbitrary entry — which one depends on iteration
+// order, so it is flagged too.
+func firstError(errs map[string]error) error {
+	for _, err := range errs { // want `nondeterministic order`
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sortedKeys is the collect-then-sort idiom: the loop's order is erased
+// by the sort below it.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// count observes only the element count; keyless ranges are order-free.
+func count(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// reset is the map-clear idiom: a body of nothing but deletes on the
+// ranged map.
+func reset(m map[string]int) {
+	for k := range m {
+		delete(m, k)
+	}
+}
+
+// vouched carries the marker: a commutative fold where order is
+// genuinely irrelevant.
+func vouched(m map[string]int) {
+	//coup:unordered-ok commutative sum, order cannot reach output
+	for _, v := range m {
+		sink += v
+	}
+}
+
+// vouchedTrailing carries the marker on the range line itself.
+func vouchedTrailing(m map[string]int) {
+	for _, v := range m { //coup:unordered-ok commutative sum
+		sink += v
+	}
+}
+
+// slices are always fine: iteration order is the index order.
+func overSlice(s []int) {
+	for _, v := range s {
+		sink += v
+	}
+}

@@ -1,0 +1,12 @@
+// Package unscoped holds the same order-leaking loop as the scoped
+// fixture, but the test loads it under a path outside detrange's scope —
+// nothing here may be flagged.
+package unscoped
+
+func leaky(m map[string]int) []int {
+	var out []int
+	for _, v := range m {
+		out = append(out, v)
+	}
+	return out
+}

@@ -1,0 +1,77 @@
+// Package analysis is the repo's static-analysis framework and the home
+// of the coupvet analyzer suite: a minimal, dependency-free mirror of
+// the golang.org/x/tools/go/analysis API shape (Analyzer, Pass,
+// Diagnostic), built on the standard library's go/ast and go/types only,
+// because this repository carries no external module dependencies. The
+// concrete analyzers live in subpackages (detrange, padalign, hotalloc,
+// poolhygiene) and the cmd/coupvet multichecker drives them over
+// type-checked packages produced by internal/analysis/load.
+//
+// The repository's correctness and performance claims rest on a handful
+// of cross-cutting invariants that no general-purpose linter knows about.
+// Each has bitten (or nearly bitten) a past PR; each now has an analyzer,
+// and CI runs all four on every change via `go tool coupvet -escapes ./...`:
+//
+//	detrange      Golden-table packages (internal/sim, internal/exp,
+//	              internal/workloads, pkg/coup) must not let map iteration
+//	              order reach any output: the figure grids are compared
+//	              byte-for-byte against committed goldens, so one
+//	              nondeterministic range is a flaky CI failure. Sanctioned
+//	              idioms pass: iterating sorted keys, collecting then
+//	              sorting (a sort.*/slices.Sort* call after the loop),
+//	              delete-only bodies, keyless ranges.
+//
+//	padalign      Structs used as per-shard / per-P array elements (the
+//	              padWord idiom in pkg/commute) must be exactly
+//	              ops.LineBytes so neighbouring shards never false-share.
+//	              Candidates are structs with a blank `_ [N]byte` padding
+//	              field, or with direct sync/atomic value fields that are
+//	              used as slice/array elements; the size check uses the
+//	              compiler's real layout via go/types.Sizes.
+//
+//	hotalloc      Functions annotated //coup:hotpath must avoid
+//	              allocation-prone constructs (fmt calls, interface
+//	              boxing, non-inlined closures, uncapped append on fresh
+//	              slices, map construction) outside error/cold paths.
+//	              The -escapes mode is the ground truth: it reruns the
+//	              annotated packages through `go build -gcflags=-m` and
+//	              fails if the compiler reports a heap escape on a hot
+//	              line.
+//
+//	poolhygiene   sync.Pool.Put of a value whose type holds slice or map
+//	              fields requires a visible reset of each such field in
+//	              the enclosing function, or stale data resurfaces on the
+//	              next Get (a cross-request leak in coupd).
+//
+// # Source markers
+//
+// The analyzers honor three gofmt-protected comment directives:
+//
+//	//coup:hotpath
+//	    In a function's doc comment: the function claims an
+//	    allocation-free steady state. hotalloc checks the body statically
+//	    and -escapes holds it to the compiler's escape analysis.
+//
+//	//coup:unordered-ok
+//	    On a range-over-map statement's line (or the line above): the
+//	    iteration order is genuinely irrelevant to any output. detrange
+//	    skips the loop. Use sparingly; prefer sorting.
+//
+//	//coup:alloc-ok
+//	    On a construct's line (or the line above) inside a hotpath
+//	    function: hotalloc's conservative static model would flag it, but
+//	    the compiler proves it allocation-free (e.g. an interface box the
+//	    callee does not leak). -escapes still checks the line, so the
+//	    marker can never hide a real escape.
+//
+// # Running
+//
+//	go tool coupvet ./...                 # the four static analyzers
+//	go tool coupvet -escapes ./...        # + compiler escape cross-check
+//
+// coupvet prints file:line:col: message [analyzer] and exits 1 on any
+// finding; CI gates on it directly. The framework itself (this package,
+// load, antest) is dependency-free: packages are loaded through `go list
+// -export` plus the standard library's gc importer, and analyzer tests
+// assert fixtures with x/tools-style `// want` comments.
+package analysis

@@ -1,0 +1,196 @@
+package hotalloc
+
+// The static checks in hotalloc.go model the compiler's escape analysis;
+// this file asks the compiler itself. CrossCheck rebuilds the annotated
+// packages with -gcflags=-m, parses the escape diagnostics, and reports
+// any "escapes to heap" / "moved to heap" landing on a hot line of a
+// //coup:hotpath function. The build comes from the build cache on repeat
+// runs (diagnostics replay), so the CI cost after the first compile is
+// parse time only.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/load"
+)
+
+// Escape is one heap-allocation diagnostic from `go build -gcflags=-m`.
+type Escape struct {
+	Pkg  string // import path, from the preceding "# path" header
+	File string // path as printed by the compiler (relative to the build dir)
+	Line int
+	Col  int
+	Msg  string
+}
+
+var escRx = regexp.MustCompile(`^(.+\.go):(\d+):(\d+): (.*(?:escapes to heap|moved to heap).*)$`)
+
+// ParseEscapes extracts heap-escape diagnostics from -gcflags=-m output.
+// "# import/path" headers attribute the lines that follow to a package;
+// inlining and leaking-param chatter is ignored.
+func ParseEscapes(out []byte) []Escape {
+	var (
+		escs []Escape
+		pkg  string
+	)
+	for _, line := range strings.Split(string(out), "\n") {
+		if rest, ok := strings.CutPrefix(line, "# "); ok {
+			pkg = strings.TrimSpace(rest)
+			continue
+		}
+		m := escRx.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		ln, _ := strconv.Atoi(m[2])
+		col, _ := strconv.Atoi(m[3])
+		escs = append(escs, Escape{Pkg: pkg, File: m[1], Line: ln, Col: col, Msg: m[4]})
+	}
+	return escs
+}
+
+// CrossCheck validates every //coup:hotpath annotation in pkgs against the
+// compiler's escape analysis. It returns one diagnostic per heap escape on
+// a hot line, plus the list of annotated functions that were checked (so
+// callers can assert coverage). Packages with no annotations are skipped.
+func CrossCheck(moduleDir string, pkgs []*load.Package) ([]analysis.Diagnostic, []string, error) {
+	var (
+		diags   []analysis.Diagnostic
+		checked []string
+		targets []*load.Package
+	)
+	// hot maps (pkg path, file basename, line) -> annotated function name.
+	hot := map[string]map[string]map[int]string{}
+	for _, pkg := range pkgs {
+		m := hotLines(pkg)
+		if len(m) == 0 {
+			continue
+		}
+		hot[pkg.Path] = m
+		targets = append(targets, pkg)
+		for _, byLine := range m {
+			seen := map[string]bool{}
+			for _, fn := range byLine {
+				if !seen[fn] {
+					seen[fn] = true
+					checked = append(checked, pkg.Path+"."+fn)
+				}
+			}
+		}
+	}
+	if len(targets) == 0 {
+		return nil, nil, nil
+	}
+
+	args := []string{"build", "-gcflags=-m"}
+	for _, pkg := range targets {
+		args = append(args, pkg.Path)
+	}
+	cmd := exec.Command("go", args...)
+	cmd.Dir = moduleDir
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return nil, nil, fmt.Errorf("go %s: %v\n%s", strings.Join(args, " "), err, out)
+	}
+
+	for _, esc := range ParseEscapes(out) {
+		byFile, ok := hot[esc.Pkg]
+		if !ok {
+			continue
+		}
+		fn, ok := byFile[filepath.Base(esc.File)][esc.Line]
+		if !ok {
+			continue
+		}
+		diags = append(diags, analysis.Diagnostic{
+			Pos:      token.Position{Filename: filepath.Join(moduleDir, esc.File), Line: esc.Line, Column: esc.Col},
+			Analyzer: "hotalloc",
+			Message: fmt.Sprintf("%s is marked %s but the compiler reports %q on its hot path",
+				fn, analysis.MarkerHotPath, esc.Msg),
+		})
+	}
+	analysis.Sort(diags)
+	return diags, checked, nil
+}
+
+// hotLines maps (file basename, line) to the enclosing //coup:hotpath
+// function, covering each annotated body minus its cold spans and minus
+// any nested function literal that is not immediately invoked (a separate
+// function; the static check flags it independently).
+func hotLines(pkg *load.Package) map[string]map[int]string {
+	res := map[string]map[int]string{}
+	for _, f := range pkg.Files {
+		base := filepath.Base(pkg.Fset.Position(f.Pos()).Filename)
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !analysis.HasMarker(fd.Doc, analysis.MarkerHotPath) {
+				continue
+			}
+			skip := coldSpans(pkg.Info, fd)
+			skip = append(skip, litSpans(fd.Body)...)
+			if res[base] == nil {
+				res[base] = map[int]string{}
+			}
+			lo := pkg.Fset.Position(fd.Body.Pos()).Line
+			hi := pkg.Fset.Position(fd.Body.End()).Line
+			for ln := lo; ln <= hi; ln++ {
+				res[base][ln] = funcName(fd)
+			}
+			for _, s := range skip {
+				for ln := pkg.Fset.Position(s.lo).Line; ln <= pkg.Fset.Position(s.hi).Line; ln++ {
+					delete(res[base], ln)
+				}
+			}
+		}
+	}
+	return res
+}
+
+// litSpans returns the spans of function literals in body that are not
+// immediately invoked.
+func litSpans(body *ast.BlockStmt) []span {
+	invoked := map[*ast.FuncLit]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if lit, ok := call.Fun.(*ast.FuncLit); ok {
+				invoked[lit] = true
+			}
+		}
+		return true
+	})
+	var spans []span
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && !invoked[lit] {
+			spans = append(spans, span{lit.Pos(), lit.End()})
+			return false
+		}
+		return true
+	})
+	return spans
+}
+
+// funcName renders "Recv.Name" for methods, "Name" for functions.
+func funcName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok {
+		t = idx.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name + "." + fd.Name.Name
+	}
+	return fd.Name.Name
+}

@@ -1,0 +1,406 @@
+// Package hotalloc enforces the //coup:hotpath contract: a function so
+// marked is claimed allocation-free at steady state — the property the
+// zero-alloc tests (TestSteadyStateZeroAllocs, TestSweepZeroAllocsSteadyState,
+// the coupd benchmarks) measure end to end, checked here construct by
+// construct so a regression is caught at the offending line, not as a
+// mysterious allocs/op delta in the CI perf gate.
+//
+// Inside an annotated function the analyzer flags the allocation-prone
+// constructs that have actually bitten this repo:
+//
+//   - fmt.* calls (every call allocates its formatted result);
+//   - interface boxing: passing a concrete non-pointer value (struct,
+//     string, slice, basic) to an interface-typed parameter heap-allocates
+//     the boxed copy — pointers, maps, chans, funcs, and constants ride in
+//     the interface word and are exempt;
+//   - function literals that are not immediately invoked (heap-allocated
+//     closures); immediately invoked literals — including the
+//     `defer func() { ... }()` idiom — are walked like inline code;
+//   - append to a slice that the function itself created without capacity
+//     (`var s []T`, `s := []T{}`, `make([]T, 0)`): every growth step
+//     allocates; reused buffers and parameters are untouched;
+//   - map/chan construction (literals or make).
+//
+// Error and cold paths may allocate: a construct is exempt when it sits in
+// a return statement producing a non-nil error, in an if/switch block that
+// (directly) returns a non-nil error, or in a block that panics. That is
+// exactly the shape of the repo's hot functions — straight-line fast path,
+// allocating error branches (e.g. coupd's Registry.Apply).
+//
+// The static list is a model of the compiler, and models drift; coupvet's
+// -escapes mode (escapes.go) cross-checks every annotation against the
+// real escape analysis in `go build -gcflags=-m` output.
+package hotalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the static half of the hotalloc check.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc: "flag allocation-prone constructs (fmt, interface boxing, escaping closures, " +
+		"uncapped append, map literals) in //coup:hotpath functions, outside error/cold paths",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		marked := analysis.MarkedLines(pass.Fset, f, analysis.MarkerAllocOK)
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !analysis.HasMarker(fd.Doc, analysis.MarkerHotPath) {
+				continue
+			}
+			checkFunc(pass, fd, marked)
+		}
+	}
+	return nil
+}
+
+// span is a half-open source range.
+type span struct{ lo, hi token.Pos }
+
+func inSpans(spans []span, pos token.Pos) bool {
+	for _, s := range spans {
+		if s.lo <= pos && pos < s.hi {
+			return true
+		}
+	}
+	return false
+}
+
+// reporter emits a diagnostic unless the line carries //coup:alloc-ok.
+type reporter func(pos token.Pos, format string, args ...any)
+
+// checkFunc walks one annotated function, flagging allocation-prone
+// constructs outside its cold spans. Lines under a //coup:alloc-ok marker
+// are exempt — the static model is conservative, and -escapes holds those
+// lines to the compiler's verdict instead.
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, marked map[int]bool) {
+	cold := coldSpans(pass.Info, fd)
+	fresh := freshUncapped(pass, fd)
+	report := reporter(func(pos token.Pos, format string, args ...any) {
+		if analysis.LineMarked(pass.Fset, marked, pos) {
+			return
+		}
+		pass.Reportf(pos, format, args...)
+	})
+
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if inSpans(cold, n.Pos()) {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			// Walk an immediately invoked literal's body like inline code,
+			// and check the call's own allocation behaviour below.
+			if lit, ok := n.Fun.(*ast.FuncLit); ok {
+				for _, arg := range n.Args {
+					ast.Inspect(arg, walk)
+				}
+				ast.Inspect(lit.Body, walk)
+				return false
+			}
+			checkCall(pass, fd, n, fresh, report)
+		case *ast.FuncLit:
+			report(n.Pos(),
+				"%s: function literal is a heap-allocated closure; hoist it out of the hot path or inline the logic",
+				fd.Name.Name)
+			return false
+		case *ast.CompositeLit:
+			if tv, ok := pass.Info.Types[n]; ok {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					report(n.Pos(), "%s: map literal allocates in the hot path", fd.Name.Name)
+				}
+			}
+		}
+		return true
+	}
+	ast.Inspect(fd.Body, walk)
+}
+
+// checkCall flags one call expression: fmt calls, allocating builtins,
+// and interface-boxing arguments.
+func checkCall(pass *analysis.Pass, fd *ast.FuncDecl, call *ast.CallExpr, fresh map[types.Object]bool, report reporter) {
+	// Builtins: append-to-fresh and make(map/chan).
+	if id, ok := calleeIdent(call.Fun); ok {
+		if b, isB := pass.Info.Uses[id].(*types.Builtin); isB {
+			switch b.Name() {
+			case "append":
+				if len(call.Args) > 0 {
+					if aid, ok := call.Args[0].(*ast.Ident); ok && fresh[pass.Info.Uses[aid]] {
+						report(call.Pos(),
+							"%s: append grows %s, a fresh uncapped slice; preallocate with a capacity or reuse a buffer",
+							fd.Name.Name, aid.Name)
+					}
+				}
+			case "make":
+				if tv, ok := pass.Info.Types[call]; ok {
+					switch tv.Type.Underlying().(type) {
+					case *types.Map:
+						report(call.Pos(), "%s: make(map) allocates in the hot path", fd.Name.Name)
+					case *types.Chan:
+						report(call.Pos(), "%s: make(chan) allocates in the hot path", fd.Name.Name)
+					}
+				}
+			}
+			return
+		}
+	}
+
+	// fmt calls allocate their result; one report covers the call and its
+	// boxed arguments both.
+	if fn := calleeFunc(pass, call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		report(call.Pos(),
+			"%s: fmt.%s call in hot non-error path allocates; format on the error/cold path instead",
+			fd.Name.Name, fn.Name())
+		return
+	}
+
+	// Interface boxing at ordinary call boundaries.
+	sig, ok := calleeSignature(pass, call)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // forwarding an existing slice, no per-arg boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if !types.IsInterface(pt) {
+			continue
+		}
+		tv, ok := pass.Info.Types[arg]
+		if !ok || tv.IsNil() || tv.Value != nil {
+			continue // untyped nil and constants box without allocating
+		}
+		if boxesWithoutAlloc(tv.Type) {
+			continue
+		}
+		report(arg.Pos(),
+			"%s: passing %s boxes a %s into interface %s (allocates); pass a pointer or restructure",
+			fd.Name.Name, exprName(arg), tv.Type, pt)
+	}
+}
+
+// boxesWithoutAlloc reports whether values of t fit an interface's data
+// word directly: pointers, maps, chans, funcs, unsafe pointers — and
+// interfaces, which are not boxed at all.
+func boxesWithoutAlloc(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Map, *types.Chan, *types.Signature, *types.Interface:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+// freshUncapped collects the function's locals that are born as empty,
+// capacity-free slices — the ones append must grow from nothing.
+func freshUncapped(pass *analysis.Pass, fd *ast.FuncDecl) map[types.Object]bool {
+	fresh := map[types.Object]bool{}
+	mark := func(id *ast.Ident) {
+		if obj := pass.Info.Defs[id]; obj != nil {
+			if _, isSlice := obj.Type().Underlying().(*types.Slice); isSlice {
+				fresh[obj] = true
+			}
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeclStmt:
+			if gd, ok := n.Decl.(*ast.GenDecl); ok && gd.Tok == token.VAR {
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok || len(vs.Values) != 0 {
+						continue
+					}
+					for _, name := range vs.Names {
+						mark(name)
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			if n.Tok != token.DEFINE || len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				switch rhs := n.Rhs[i].(type) {
+				case *ast.CompositeLit:
+					if len(rhs.Elts) == 0 {
+						mark(id)
+					}
+				case *ast.CallExpr:
+					// make([]T, 0) with no capacity.
+					if mid, ok := calleeIdent(rhs.Fun); ok {
+						if b, isB := pass.Info.Uses[mid].(*types.Builtin); isB && b.Name() == "make" && len(rhs.Args) == 2 {
+							if tv, ok := pass.Info.Types[rhs.Args[1]]; ok && tv.Value != nil && tv.Value.String() == "0" {
+								mark(id)
+							}
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	return fresh
+}
+
+// coldSpans returns the ranges of fd where allocation is forgiven: return
+// statements producing a non-nil error, blocks that (directly) contain
+// such a return, and blocks that panic. Nested function literals are
+// skipped — they are separate functions with their own rules.
+func coldSpans(info *types.Info, fd *ast.FuncDecl) []span {
+	errFn := lastResultIsError(info, fd)
+	var spans []span
+
+	coldReturn := func(st ast.Stmt) bool {
+		switch st := st.(type) {
+		case *ast.ReturnStmt:
+			if !errFn || len(st.Results) == 0 {
+				return false
+			}
+			last := st.Results[len(st.Results)-1]
+			if id, ok := last.(*ast.Ident); ok && id.Name == "nil" {
+				return false
+			}
+			return true
+		case *ast.ExprStmt:
+			call, ok := st.X.(*ast.CallExpr)
+			if !ok {
+				return false
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok {
+				return false
+			}
+			b, isB := info.Uses[id].(*types.Builtin)
+			return isB && b.Name() == "panic"
+		}
+		return false
+	}
+	blockCold := func(list []ast.Stmt) bool {
+		for _, st := range list {
+			if coldReturn(st) {
+				return true
+			}
+		}
+		return false
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			if coldReturn(n) {
+				spans = append(spans, span{n.Pos(), n.End()})
+			}
+		case *ast.IfStmt:
+			if blockCold(n.Body.List) {
+				spans = append(spans, span{n.Body.Pos(), n.Body.End()})
+			}
+			if els, ok := n.Else.(*ast.BlockStmt); ok && blockCold(els.List) {
+				spans = append(spans, span{els.Pos(), els.End()})
+			}
+		case *ast.CaseClause:
+			if blockCold(n.Body) {
+				spans = append(spans, span{n.Pos(), n.End()})
+			}
+		case *ast.CommClause:
+			if blockCold(n.Body) {
+				spans = append(spans, span{n.Pos(), n.End()})
+			}
+		}
+		return true
+	})
+	return spans
+}
+
+// lastResultIsError reports whether fd's final result type is error.
+func lastResultIsError(info *types.Info, fd *ast.FuncDecl) bool {
+	fn, ok := info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	res := fn.Type().(*types.Signature).Results()
+	if res.Len() == 0 {
+		return false
+	}
+	return types.Identical(res.At(res.Len()-1).Type(), types.Universe.Lookup("error").Type())
+}
+
+// calleeIdent unwraps the call target to a bare identifier, if it is one.
+func calleeIdent(fun ast.Expr) (*ast.Ident, bool) {
+	for {
+		switch f := fun.(type) {
+		case *ast.Ident:
+			return f, true
+		case *ast.ParenExpr:
+			fun = f.X
+		default:
+			return nil, false
+		}
+	}
+}
+
+// calleeFunc resolves the called function object, through selectors.
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if fn, ok := pass.Info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := pass.Info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// calleeSignature returns the call's signature when it is an ordinary
+// function or method call (not a conversion, not a builtin).
+func calleeSignature(pass *analysis.Pass, call *ast.CallExpr) (*types.Signature, bool) {
+	tv, ok := pass.Info.Types[call.Fun]
+	if !ok {
+		return nil, false
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	return sig, ok
+}
+
+// exprName renders a short label for a flagged argument.
+func exprName(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprName(e.X) + "." + e.Sel.Name
+	}
+	return "value"
+}

@@ -1,0 +1,84 @@
+// Package hot exercises hotalloc: annotated functions are held to the
+// zero-alloc contract outside error/cold paths; unannotated ones are not.
+package hot
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+)
+
+type sink interface{ feed(any) }
+
+var out sink
+
+type pair struct{ a, b uint64 }
+
+var errBad = errors.New("bad")
+
+// hotBad trips every construct the analyzer knows about.
+//
+//coup:hotpath
+func hotBad(n uint64, s sink) error {
+	fmt.Printf("n=%d\n", n) // want `fmt\.Printf call in hot non-error path`
+
+	var acc []uint64
+	for i := uint64(0); i < n; i++ {
+		acc = append(acc, i) // want `append grows acc, a fresh uncapped slice`
+	}
+
+	counts := map[uint64]int{} // want `map literal allocates in the hot path`
+	counts[n]++
+
+	idx := make(map[string]int) // want `make\(map\) allocates in the hot path`
+	idx["x"] = 1
+
+	f := func() uint64 { return n } // want `function literal is a heap-allocated closure`
+	_ = f
+
+	s.feed(pair{a: n, b: n}) // want `boxes a .*pair into interface`
+	return nil
+}
+
+// hotGood is the shape the repo's hot functions take: straight-line fast
+// path, allocation confined to error and panic branches.
+//
+//coup:hotpath
+func hotGood(v *atomic.Uint64, n uint64, buf []uint64) ([]uint64, error) {
+	if n == 0 {
+		return nil, fmt.Errorf("hotGood: zero n: %w", errBad)
+	}
+	switch {
+	case n > 1<<40:
+		return nil, fmt.Errorf("hotGood: n %d out of range", n)
+	}
+	if v == nil {
+		panic(fmt.Sprintf("hotGood: nil counter (n=%d)", n))
+	}
+	v.Add(n)
+	buf = append(buf, n)  // caller-owned buffer: not fresh, not flagged
+	func() { v.Add(1) }() // immediately invoked: inline code, no closure
+	out.feed(v)           // pointer in an interface: no boxing allocation
+	return buf, nil
+}
+
+// hotMarked exercises the //coup:alloc-ok escape hatch: the marked boxing
+// is exempt (the compiler's -escapes verdict still applies), the unmarked
+// line next to it is not.
+//
+//coup:hotpath
+func hotMarked(n uint64, s sink) {
+	s.feed(pair{a: n}) //coup:alloc-ok -- callee proven not to leak
+
+	s.feed(pair{b: n}) // want `boxes a .*pair into interface`
+}
+
+// notHot does all the same things with no annotation; hotalloc must not
+// say a word.
+func notHot(n uint64, s sink) {
+	fmt.Println(n)
+	var acc []uint64
+	acc = append(acc, n)
+	_ = map[uint64]int{}
+	s.feed(pair{a: n})
+}

@@ -1,0 +1,229 @@
+// Package load turns package patterns into parsed, type-checked packages
+// for the analyzers, using only the standard library and the go tool.
+//
+// The usual door to type-checked packages, golang.org/x/tools/go/packages,
+// is an external dependency this repository deliberately does not carry.
+// The go tool alone is enough: `go list -export -deps -json` names every
+// package's source files and its compiled export data in the build cache,
+// source files parse with go/parser, and go/types checks them with an
+// importer that feeds the gc export data back through go/importer. Targets
+// are checked from source (the analyzers need syntax trees with comments);
+// every dependency — standard library and in-module alike — is imported
+// from export data, which is both exact and fast.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// A Package is one parsed, type-checked target package.
+type Package struct {
+	// Path is the package's import path (or the caller-chosen path for
+	// fixture packages loaded with Dir).
+	Path string
+	// Dir is the directory holding the package's source files.
+	Dir string
+	// Fset resolves positions for Files.
+	Fset *token.FileSet
+	// Files are the parsed source files, with comments.
+	Files []*ast.File
+	// Types is the type-checked package object.
+	Types *types.Package
+	// Info holds the type-checker's fact tables for Files.
+	Info *types.Info
+	// Sizes is the target platform's sizeof/alignof model.
+	Sizes types.Sizes
+}
+
+// listed is the subset of `go list -json` output the loader consumes.
+type listed struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// exports caches import path -> export data file, shared process-wide so
+// repeated fixture loads (the analyzer test suites) run go list once per
+// missing path, not once per test.
+var (
+	exportsMu sync.Mutex
+	exports   = map[string]string{}
+)
+
+// goList runs `go list -export -deps -json=...` in dir ("" = cwd) and
+// returns the decoded packages, caching every export file it sees.
+func goList(dir string, patterns ...string) ([]listed, error) {
+	args := append([]string{
+		"list", "-export", "-deps",
+		"-json=ImportPath,Dir,Export,GoFiles,DepOnly,Error",
+		"--",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.Bytes())
+	}
+	var pkgs []listed
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listed
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list %v: decoding output: %v", patterns, err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	exportsMu.Lock()
+	for _, p := range pkgs {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	exportsMu.Unlock()
+	return pkgs, nil
+}
+
+// lookupExport resolves one import path to its export data, running go
+// list on a cache miss (fixture imports arrive one at a time this way).
+func lookupExport(dir, path string) (io.ReadCloser, error) {
+	exportsMu.Lock()
+	file, ok := exports[path]
+	exportsMu.Unlock()
+	if !ok {
+		if _, err := goList(dir, path); err != nil {
+			return nil, fmt.Errorf("resolving import %q: %w", path, err)
+		}
+		exportsMu.Lock()
+		file, ok = exports[path]
+		exportsMu.Unlock()
+		if !ok {
+			return nil, fmt.Errorf("no export data for import %q", path)
+		}
+	}
+	return os.Open(file)
+}
+
+// newInfo allocates the fact tables the analyzers rely on.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+}
+
+// sizes is the gc layout model for the running platform — the same
+// platform whose export data the build cache holds.
+func sizes() types.Sizes { return types.SizesFor("gc", runtime.GOARCH) }
+
+// Packages loads, parses, and type-checks every package matching patterns,
+// resolved relative to dir ("" = current directory). Dependencies are
+// imported from export data; the returned packages are the pattern
+// matches only, in go list order.
+func Packages(dir string, patterns ...string) ([]*Package, error) {
+	all, err := goList(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		return lookupExport(dir, path)
+	})
+	var out []*Package
+	for _, l := range all {
+		if l.DepOnly {
+			continue
+		}
+		if l.Error != nil {
+			return nil, fmt.Errorf("package %s: %s", l.ImportPath, l.Error.Err)
+		}
+		if len(l.GoFiles) == 0 {
+			continue
+		}
+		pkg, err := check(fset, imp, l.Dir, l.ImportPath, l.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// Dir loads the single package formed by every .go file directly in dir,
+// type-checked under the given import path. This is the fixture door: the
+// analyzers' testdata packages live outside any module, and path lets a
+// fixture claim the package identity (e.g. a detrange-scoped path) its
+// test needs.
+func Dir(dir, path string) (*Package, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range ents {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ".go" {
+			files = append(files, e.Name())
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("load: no .go files in %s", dir)
+	}
+	sort.Strings(files)
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(p string) (io.ReadCloser, error) {
+		return lookupExport("", p)
+	})
+	return check(fset, imp, dir, path, files)
+}
+
+// check parses files (named relative to dir) and type-checks them as one
+// package under path.
+func check(fset *token.FileSet, imp types.Importer, dir, path string, files []string) (*Package, error) {
+	var parsed []*ast.File
+	for _, name := range files {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		parsed = append(parsed, f)
+	}
+	conf := types.Config{Importer: imp, Sizes: sizes()}
+	info := newInfo()
+	tpkg, err := conf.Check(path, fset, parsed, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", path, err)
+	}
+	return &Package{
+		Path:  path,
+		Dir:   dir,
+		Fset:  fset,
+		Files: parsed,
+		Types: tpkg,
+		Info:  info,
+		Sizes: sizes(),
+	}, nil
+}

@@ -1,0 +1,191 @@
+// Package padalign checks the padWord idiom: structs that serve as
+// elements of per-shard / per-P arrays must fill exactly one cache line
+// (ops.LineBytes), so neighbouring shards never false-share — the
+// software requirement matching the paper's one-line-per-U-copy
+// granularity (pkg/commute/shard.go).
+//
+// Two ways a struct becomes a shard-slot candidate:
+//
+//   - it carries an explicit padding field (a blank `_ [N]byte` member) —
+//     declaring the intent makes the size contract checkable, so the
+//     check always applies, array element or not;
+//   - it has a direct sync/atomic value field and is used anywhere in the
+//     package as the element type of a slice or array — the layout in
+//     which adjacent elements of an unpadded struct share lines and turn
+//     independent shard updates into coherence ping-pong.
+//
+// Either way the rule is the same: sizeof(struct) == LineBytes, with the
+// compile-target's real layout (go/types.Sizes), not field arithmetic.
+// Catching a violation here costs a review comment; catching it in
+// production costs a bench regression hunt (PR 3 grew unsafe.Sizeof
+// asserts in tests for exactly this — the analyzer generalizes them to
+// every future shard struct, in every package).
+//
+// Struct fields of slice-of-atomic type (histShard's `[]atomic.Uint64`)
+// are deliberately not candidates: the slice header is read-only after
+// construction and the backing array is already line-rounded by its
+// owner; sharing within a shard's own vector is locality, not false
+// sharing.
+package padalign
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// DefaultLineBytes is the cache-line size assumed when the analyzed
+// package does not import repro/internal/ops; when it does, the real
+// ops.LineBytes constant is read out of the import.
+const DefaultLineBytes = 64
+
+// Analyzer is the padalign check.
+var Analyzer = &analysis.Analyzer{
+	Name: "padalign",
+	Doc: "shard-slot structs (blank [N]byte padding, or atomic fields used as " +
+		"slice/array elements) must be exactly ops.LineBytes to prevent false sharing",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	lineBytes := lineBytesFor(pass.Pkg)
+
+	// Pass 1: find candidate structs declared in this package.
+	type candidate struct {
+		name   *ast.Ident
+		typ    *types.Named
+		padded bool // has a blank [N]byte padding field
+		atomic bool // has a direct sync/atomic value field
+	}
+	var cands []candidate
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				obj, ok := pass.Info.Defs[ts.Name].(*types.TypeName)
+				if !ok {
+					continue
+				}
+				named, ok := obj.Type().(*types.Named)
+				if !ok {
+					continue
+				}
+				st, ok := named.Underlying().(*types.Struct)
+				if !ok {
+					continue
+				}
+				c := candidate{name: ts.Name, typ: named}
+				for i := 0; i < st.NumFields(); i++ {
+					fld := st.Field(i)
+					if fld.Name() == "_" && isByteArray(fld.Type()) {
+						c.padded = true
+					}
+					if isAtomicValue(fld.Type()) {
+						c.atomic = true
+					}
+				}
+				if c.padded || c.atomic {
+					cands = append(cands, c)
+				}
+			}
+		}
+	}
+	if len(cands) == 0 {
+		return nil
+	}
+
+	// Pass 2: which candidate types appear as slice/array elements? Every
+	// type expression the checker saw is in Info.Types, so composite types
+	// in fields, variables, make calls, and literals are all covered.
+	elem := map[*types.Named]bool{}
+	for _, tv := range pass.Info.Types {
+		var e types.Type
+		switch t := tv.Type.Underlying().(type) {
+		case *types.Slice:
+			e = t.Elem()
+		case *types.Array:
+			e = t.Elem()
+		default:
+			continue
+		}
+		if n, ok := e.(*types.Named); ok {
+			elem[n] = true
+		}
+	}
+
+	for _, c := range cands {
+		if !c.padded && !elem[c.typ] {
+			// Atomic fields in a struct never laid out side by side are a
+			// concurrency design, not a layout hazard.
+			continue
+		}
+		size := pass.Sizes.Sizeof(c.typ.Underlying())
+		if size == lineBytes {
+			continue
+		}
+		switch {
+		case c.padded:
+			pass.Reportf(c.name.Pos(),
+				"padded shard struct %s is %d bytes, want exactly %d (ops.LineBytes); "+
+					"adjust the blank padding field to the real field layout",
+				c.name.Name, size, lineBytes)
+		default:
+			pass.Reportf(c.name.Pos(),
+				"struct %s (%d bytes) has atomic fields and is used as a slice/array element; "+
+					"pad it to exactly %d bytes (ops.LineBytes) so neighbouring elements cannot false-share",
+				c.name.Name, size, lineBytes)
+		}
+	}
+	return nil
+}
+
+// lineBytesFor reads ops.LineBytes out of the analyzed package's imports
+// when present, so the analyzer can never drift from the simulator's
+// line-size constant; packages that don't import ops get the default.
+func lineBytesFor(pkg *types.Package) int64 {
+	for _, imp := range pkg.Imports() {
+		if imp.Path() != "repro/internal/ops" {
+			continue
+		}
+		if c, ok := imp.Scope().Lookup("LineBytes").(*types.Const); ok {
+			if v, exact := constant.Int64Val(c.Val()); exact {
+				return v
+			}
+		}
+	}
+	return DefaultLineBytes
+}
+
+// isByteArray reports whether t is [N]byte — the padding field shape.
+func isByteArray(t types.Type) bool {
+	arr, ok := t.Underlying().(*types.Array)
+	if !ok {
+		return false
+	}
+	b, ok := arr.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Uint8
+}
+
+// isAtomicValue reports whether t is a sync/atomic value type (or an
+// array of them) embedded directly in the struct — the fields whose
+// cache-line placement decides whether shard updates stay private.
+func isAtomicValue(t types.Type) bool {
+	if arr, ok := t.Underlying().(*types.Array); ok {
+		return isAtomicValue(arr.Elem())
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	pkg := n.Obj().Pkg()
+	return pkg != nil && pkg.Path() == "sync/atomic"
+}

@@ -1,0 +1,15 @@
+package padalign_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/antest"
+	"repro/internal/analysis/padalign"
+)
+
+// TestPads checks the fixture's positive cases (short, over, and missing
+// padding) and negative cases (exact padding, slice-header shards,
+// non-element structs) in one pass.
+func TestPads(t *testing.T) {
+	antest.Run(t, "testdata/src/pads", "example.com/pads", padalign.Analyzer)
+}

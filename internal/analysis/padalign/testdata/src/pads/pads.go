@@ -1,0 +1,67 @@
+// Package pads exercises padalign: shard-slot structs must fill exactly
+// one 64-byte cache line (the fixture does not import internal/ops, so
+// the analyzer's default line size applies).
+package pads
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// goodPad is the padWord idiom done right: 8 bytes of atomic plus 56
+// bytes of declared padding.
+type goodPad struct {
+	v atomic.Uint64
+	_ [56]byte
+}
+
+// shortPad declares padding but comes up 16 bytes short of a line.
+type shortPad struct { // want `48 bytes, want exactly 64`
+	v atomic.Uint64
+	_ [40]byte
+}
+
+// overPad overshoots into the next line.
+type overPad struct { // want `72 bytes, want exactly 64`
+	v atomic.Uint64
+	_ [64]byte
+}
+
+// unpadded has an atomic field and is used as a slice element below, so
+// adjacent elements would false-share a line.
+type unpadded struct { // want `atomic fields.*slice/array element`
+	n atomic.Int64
+}
+
+// lone has an atomic field but is never laid out side by side with its
+// siblings; no layout hazard, no diagnostic.
+type lone struct {
+	n atomic.Int64
+}
+
+// vecShard holds a slice of atomics (the histShard idiom): the header is
+// read-only and the backing array is owned elsewhere, so using vecShard
+// as an element is fine.
+type vecShard struct {
+	counts []atomic.Uint64
+}
+
+// lockPad is the refShard idiom: a mutex-guarded shard padded to a line;
+// no atomic fields, but the declared padding makes the size contract
+// checkable.
+type lockPad struct {
+	mu sync.Mutex
+	n  int64
+	_  [48]byte
+}
+
+// holder pins the element-type usages the analyzer looks for.
+type holder struct {
+	good  []goodPad
+	bad   []unpadded
+	vecs  []vecShard
+	locks [4]lockPad
+	one   lone
+}
+
+var _ holder

@@ -1,0 +1,257 @@
+// Package poolhygiene checks sync.Pool discipline: when a pooled value's
+// type holds slices or maps, the function returning it with Put must
+// visibly reset those fields first. A pooled object that keeps its old
+// slice contents leaks stale data into the next Get — in coupd's case,
+// one request's update batch bleeding into another's — and silently pins
+// the largest-ever backing array in the pool.
+//
+// For each Put(x) where x's (pointed-to) struct type has direct slice or
+// map fields, the enclosing function — the innermost func declaration or
+// literal containing the Put, so the `defer func() { reset; Put }()`
+// idiom is scoped correctly — must contain, for every such field F, one
+// of:
+//
+//   - an assignment to x.F (truncation `x.F = x.F[:0]`, nil-out, or
+//     replacement all count: each breaks the stale-data carry);
+//   - clear(x.F) or clear(x.F[...]) — zeroing in place;
+//   - a whole-value reset `*x = T{}`;
+//   - a call to a method on x whose name contains "reset" — the
+//     type-owns-its-hygiene escape hatch, trusted to clear everything.
+//
+// Fields of other types (ints, atomics, arrays) are not tracked: carrying
+// a stale counter is a logic choice, carrying a stale slice is a
+// cross-request data leak. Put arguments the analyzer cannot name (calls,
+// index expressions) are skipped rather than guessed at.
+package poolhygiene
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the poolhygiene check.
+var Analyzer = &analysis.Analyzer{
+	Name: "poolhygiene",
+	Doc: "sync.Pool.Put of a value whose type holds slice/map fields requires a visible " +
+		"reset of each such field in the enclosing function",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			// Walk with an explicit stack of enclosing function bodies so a
+			// Put inside a deferred literal is judged against that literal.
+			var walk func(body *ast.BlockStmt)
+			walk = func(body *ast.BlockStmt) {
+				ast.Inspect(body, func(n ast.Node) bool {
+					if lit, ok := n.(*ast.FuncLit); ok {
+						walk(lit.Body)
+						return false
+					}
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					checkPut(pass, body, call)
+					return true
+				})
+			}
+			walk(fd.Body)
+		}
+	}
+	return nil
+}
+
+// checkPut inspects one call; if it is sync.Pool.Put of a trackable value
+// with dirty-able fields, it verifies the resets within body.
+func checkPut(pass *analysis.Pass, body *ast.BlockStmt, call *ast.CallExpr) {
+	if !isPoolMethod(pass, call, "Put") || len(call.Args) != 1 {
+		return
+	}
+	obj := argObject(pass, call.Args[0])
+	if obj == nil {
+		return
+	}
+	st := pooledStruct(obj.Type())
+	if st == nil {
+		return
+	}
+	var dirty []string
+	for i := 0; i < st.NumFields(); i++ {
+		fld := st.Field(i)
+		switch fld.Type().Underlying().(type) {
+		case *types.Slice, *types.Map:
+			dirty = append(dirty, fld.Name())
+		}
+	}
+	if len(dirty) == 0 {
+		return
+	}
+	reset := resetFields(pass, body, obj)
+	if reset == nil {
+		reset = map[string]bool{}
+	}
+	var missing []string
+	for _, f := range dirty {
+		if !reset[f] && !reset["*"] {
+			missing = append(missing, f)
+		}
+	}
+	if len(missing) > 0 {
+		pass.Reportf(call.Pos(),
+			"sync.Pool.Put(%s) without resetting slice/map field(s) %s of %s; stale contents will "+
+				"resurface on the next Get — truncate, clear, or nil them before Put",
+			obj.Name(), strings.Join(missing, ", "), types.TypeString(obj.Type(), nil))
+	}
+}
+
+// resetFields scans body for field resets on obj; the "*" key marks a
+// whole-value reset.
+func resetFields(pass *analysis.Pass, body *ast.BlockStmt, obj types.Object) map[string]bool {
+	reset := map[string]bool{}
+	isObj := func(e ast.Expr) bool {
+		if u, ok := e.(*ast.UnaryExpr); ok {
+			e = u.X
+		}
+		id, ok := e.(*ast.Ident)
+		return ok && objOf(pass, id) == obj
+	}
+	fieldOf := func(e ast.Expr) (string, bool) {
+		// Unwrap slicing/indexing: clear(x.F[:n]) still targets x.F.
+		for {
+			switch ee := e.(type) {
+			case *ast.SliceExpr:
+				e = ee.X
+			case *ast.IndexExpr:
+				e = ee.X
+			default:
+				sel, ok := e.(*ast.SelectorExpr)
+				if !ok || !isObj(sel.X) {
+					return "", false
+				}
+				return sel.Sel.Name, true
+			}
+		}
+	}
+	// isReset recognizes right-hand sides that break the stale-data carry:
+	// nil, a re-slice of the field itself (truncation), an empty composite
+	// literal, or a fresh make (always zeroed). Notably NOT append — growing
+	// a field is the opposite of resetting it.
+	isReset := func(rhs ast.Expr, field string) bool {
+		if tv, ok := pass.Info.Types[rhs]; ok && tv.IsNil() {
+			return true
+		}
+		switch r := rhs.(type) {
+		case *ast.SliceExpr:
+			name, ok := fieldOf(r)
+			return ok && name == field
+		case *ast.CompositeLit:
+			return len(r.Elts) == 0
+		case *ast.CallExpr:
+			if id, ok := r.Fun.(*ast.Ident); ok {
+				b, isB := pass.Info.Uses[id].(*types.Builtin)
+				return isB && b.Name() == "make"
+			}
+		}
+		return false
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				if star, ok := lhs.(*ast.StarExpr); ok && isObj(star.X) {
+					reset["*"] = true
+					continue
+				}
+				if name, ok := fieldOf(lhs); ok && isReset(n.Rhs[i], name) {
+					reset[name] = true
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && len(n.Args) == 1 {
+				if b, isB := pass.Info.Uses[id].(*types.Builtin); isB && b.Name() == "clear" {
+					if name, ok := fieldOf(n.Args[0]); ok {
+						reset[name] = true
+					}
+				}
+				return true
+			}
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && isObj(sel.X) {
+				if fn, isFn := pass.Info.Uses[sel.Sel].(*types.Func); isFn &&
+					strings.Contains(strings.ToLower(fn.Name()), "reset") {
+					reset["*"] = true
+				}
+			}
+		}
+		return true
+	})
+	return reset
+}
+
+// isPoolMethod reports whether call invokes the named method of sync.Pool.
+func isPoolMethod(pass *analysis.Pass, call *ast.CallExpr, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Name() != name || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return false
+	}
+	t := recv.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	return ok && n.Obj().Name() == "Pool"
+}
+
+// argObject names the variable being Put: a bare identifier or its
+// address. Anything else is untrackable and yields nil.
+func argObject(pass *analysis.Pass, e ast.Expr) types.Object {
+	if u, ok := e.(*ast.UnaryExpr); ok {
+		e = u.X
+	}
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return objOf(pass, id)
+}
+
+// objOf resolves an identifier whether this is its defining or a using
+// occurrence.
+func objOf(pass *analysis.Pass, id *ast.Ident) types.Object {
+	if o := pass.Info.Uses[id]; o != nil {
+		return o
+	}
+	return pass.Info.Defs[id]
+}
+
+// pooledStruct unwraps pointers to the struct type of a pooled value, or
+// nil when the value is not (a pointer to) a struct.
+func pooledStruct(t types.Type) *types.Struct {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	return st
+}

@@ -1,0 +1,15 @@
+package poolhygiene_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/antest"
+	"repro/internal/analysis/poolhygiene"
+)
+
+// TestPools runs the fixture's leaky and hygienic Put shapes — including
+// the deferred-literal idiom the coupd server uses — through the
+// analyzer in one pass.
+func TestPools(t *testing.T) {
+	antest.Run(t, "testdata/src/pools", "example.com/pools", poolhygiene.Analyzer)
+}

@@ -1,0 +1,109 @@
+// Package pools exercises poolhygiene: Put of slice/map-bearing values
+// needs a visible per-field reset in the enclosing function.
+package pools
+
+import "sync"
+
+type buffer struct {
+	data []byte
+	n    int
+}
+
+type table struct {
+	rows map[string]int
+}
+
+type scratch struct {
+	i64 []int64
+	u64 []uint64
+}
+
+type counter struct {
+	n int64
+}
+
+func (b *buffer) Reset() { b.data = b.data[:0]; b.n = 0 }
+
+var (
+	bufPool     = sync.Pool{New: func() any { return new(buffer) }}
+	tabPool     = sync.Pool{New: func() any { return &table{rows: map[string]int{}} }}
+	scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+	ctrPool     = sync.Pool{New: func() any { return new(counter) }}
+)
+
+// leakyPut returns the buffer still holding this call's bytes.
+func leakyPut(p []byte) {
+	b := bufPool.Get().(*buffer)
+	b.data = append(b.data, p...)
+	bufPool.Put(b) // want `Put\(b\) without resetting slice/map field\(s\) data`
+}
+
+// truncatedPut is the idiomatic reuse: truncate, then return.
+func truncatedPut(p []byte) {
+	b := bufPool.Get().(*buffer)
+	b.data = append(b.data, p...)
+	b.data = b.data[:0]
+	bufPool.Put(b)
+}
+
+// methodPut delegates hygiene to the type's own Reset.
+func methodPut(p []byte) {
+	b := bufPool.Get().(*buffer)
+	b.data = append(b.data, p...)
+	b.Reset()
+	bufPool.Put(b)
+}
+
+// clearedPut zeroes the map in place; the allocation is kept, the
+// entries are not.
+func clearedPut() {
+	t := tabPool.Get().(*table)
+	t.rows["x"] = 1
+	clear(t.rows)
+	tabPool.Put(t)
+}
+
+// zeroedPut resets the whole value, covering every field at once.
+func zeroedPut() {
+	b := bufPool.Get().(*buffer)
+	b.data = append(b.data, 1)
+	*b = buffer{}
+	bufPool.Put(b)
+}
+
+// deferredLeak mirrors the server idiom gone wrong: the deferred Put is
+// its own function and performs no reset there.
+func deferredLeak() {
+	sc := scratchPool.Get().(*scratch)
+	defer scratchPool.Put(sc) // want `Put\(sc\) without resetting slice/map field\(s\) i64, u64`
+	sc.i64 = append(sc.i64, 1)
+}
+
+// deferredReset is the same idiom done right: truncations share the
+// deferred literal with the Put.
+func deferredReset() {
+	sc := scratchPool.Get().(*scratch)
+	defer func() {
+		sc.i64 = sc.i64[:0]
+		sc.u64 = sc.u64[:0]
+		scratchPool.Put(sc)
+	}()
+	sc.i64 = append(sc.i64, 1)
+}
+
+// partialReset truncates one slice but forgets the other.
+func partialReset() {
+	sc := scratchPool.Get().(*scratch)
+	sc.i64 = append(sc.i64, 1)
+	sc.u64 = append(sc.u64, 2)
+	sc.i64 = sc.i64[:0]
+	scratchPool.Put(sc) // want `without resetting slice/map field\(s\) u64`
+}
+
+// plainPut pools a value with no slice or map fields; stale ints are the
+// caller's business, not a data leak.
+func plainPut() {
+	c := ctrPool.Get().(*counter)
+	c.n++
+	ctrPool.Put(c)
+}

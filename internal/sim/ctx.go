@@ -68,6 +68,8 @@ func (x *Ctx) yield() {
 // exec services the operation already stored in c.req (writing the request
 // directly into the core avoids copying it through a parameter) and returns
 // it with its results filled in.
+//
+//coup:hotpath
 func (x *Ctx) exec() *request {
 	c := x.c
 	c.instrs++
@@ -160,6 +162,8 @@ func (x *Ctx) CAS32(addr uint64, old, new uint32) bool {
 }
 
 // comm issues a commutative update, falling back per protocol.
+//
+//coup:hotpath
 func (x *Ctx) comm(t ops.Type, addr, v uint64, width uint8) {
 	if x.m.commNative {
 		x.c.req = request{kind: opComm, addr: addr, val: v, width: width, otype: t}

@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"math/bits"
+	"slices"
 
 	coh "repro/internal/core"
 	"repro/internal/ops"
@@ -474,6 +475,8 @@ func (h *hierarchy) invalRTT() uint64 { return 2*h.cfg.OnChipHop + h.cfg.L2Lat }
 
 // access performs one core memory operation: functional effect plus
 // critical-path latency. It returns the operation's total latency.
+//
+//coup:hotpath
 func (h *hierarchy) access(c *core) uint64 {
 	r := &c.req
 	h.now = c.time
@@ -1560,8 +1563,15 @@ func (h *hierarchy) checkInvariants() error {
 			}
 		}
 	})
-	for tag, n := range ownerCount {
-		if n > 1 {
+	// Report the lowest violating tag so a broken run always produces the
+	// same error text, not whichever map bucket came up first.
+	tags := make([]uint64, 0, len(ownerCount))
+	for tag := range ownerCount {
+		tags = append(tags, tag)
+	}
+	slices.Sort(tags)
+	for _, tag := range tags {
+		if n := ownerCount[tag]; n > 1 {
 			return fmt.Errorf("line %#x violates global exclusivity (%d)", tag, n)
 		}
 	}

@@ -32,6 +32,8 @@ func MustCounter(opts ...Option) *Counter {
 // Add folds delta into the calling goroutine's shard. Unlike the generic
 // Sharded.Apply, addition needs no CAS loop: the shard add is a single
 // atomic instruction, uncontended as long as the shard stays P-private.
+//
+//coup:hotpath
 func (c *Counter) Add(delta int64) {
 	t := tokenPool.Get().(*token)
 	c.shards[t.idx&c.mask].v.Add(uint64(delta))

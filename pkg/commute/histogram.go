@@ -60,6 +60,8 @@ func (h *Histogram) Bins() int { return h.bins }
 func (h *Histogram) Shards() int { return len(h.shards) }
 
 // Add folds delta into bucket bin on the calling goroutine's shard.
+//
+//coup:hotpath
 func (h *Histogram) Add(bin int, delta uint64) {
 	t := tokenPool.Get().(*token)
 	h.shards[t.idx&h.mask].counts[bin].Add(delta)

@@ -54,6 +54,8 @@ func MustMinMax(opts ...Option) *MinMax {
 // Observe folds v into the calling goroutine's shard. The extremes are
 // installed before the observation count, so a reader that sees n > 0 is
 // guaranteed to see at least one real value, never a bare identity.
+//
+//coup:hotpath
 func (m *MinMax) Observe(v int64) {
 	t := tokenPool.Get().(*token)
 	s := &m.shards[t.idx&m.mask]

@@ -113,6 +113,8 @@ func (r *RefCount) Inc() { r.add(1) }
 // the indicator move together under the shard lock; escalation is checked
 // under the same lock, so a delta lands either in the shard (and is later
 // folded) or in the central counter, never both and never neither.
+//
+//coup:hotpath
 func (r *RefCount) add(delta int64) {
 	if r.mode.Load() == 1 {
 		r.central.Add(delta)

@@ -126,6 +126,8 @@ func (s *Sharded) Shards() int { return len(s.shards) }
 // path. When the combined value equals the shard's current value (an
 // idempotent op re-observing old news) it completes without writing — the
 // software image of a silent hit on a line already in U.
+//
+//coup:hotpath
 func (s *Sharded) Apply(v uint64) {
 	t := tokenPool.Get().(*token)
 	i := t.idx & s.mask

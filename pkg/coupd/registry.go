@@ -200,6 +200,8 @@ func args(u *Update, want int) error {
 
 // Apply lands one update: the fan-in from a wire record to the sharded
 // cell's update-only fast path.
+//
+//coup:hotpath
 func (g *Registry) Apply(u *Update) error {
 	ent, err := g.lookup(u)
 	if err != nil {
@@ -297,8 +299,14 @@ type snapScratch struct {
 // Snapshot reduces one structure into out using scratch buffers. The
 // histogram bin slice in out aliases sc.u64 — callers must serialize the
 // response before reusing sc.
+//
+// Not //coup:hotpath: the reductions grow sc on first use (make escapes),
+// so the zero-alloc claim only holds once the pooled scratch has warmed
+// up — an amortized property the per-call contract cannot express.
 func (g *Registry) Snapshot(name string, sc *snapScratch, out *Snapshot) error {
-	e, ok := g.entries.Load(name)
+	// Load's key box stays on the stack ("name does not escape" per
+	// -gcflags=-m); -escapes re-verifies this line every CI run.
+	e, ok := g.entries.Load(name) //coup:alloc-ok
 	if !ok {
 		return fmt.Errorf("coupd: %w %q", ErrUnknownName, name)
 	}

@@ -185,21 +185,34 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: fmt.Sprintf("coupd: %v: bad batch body: %v", ErrBadUpdate, err)})
 		return
 	}
-	applied := 0
-	for i := range req.Updates {
-		if err := s.reg.Apply(&req.Updates[i]); err != nil {
-			// Batches are not atomic: report how far we got and stop.
-			s.countBatch(applied)
-			writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: fmt.Sprintf("record %d: %v", i, err), Applied: applied})
-			return
-		}
-		applied++
-	}
+	applied, err := s.applyBatch(req)
 	s.countBatch(applied)
+	if err != nil {
+		// Batches are not atomic: report how far we got and stop.
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error(), Applied: applied})
+		return
+	}
 	writeJSON(w, http.StatusOK, BatchResponse{Applied: applied})
 }
 
+// applyBatch applies the decoded records in order, returning how many
+// succeeded and the error that stopped it. This is the per-update inner
+// loop of the write path — everything allocation-prone (JSON decode,
+// response encode, pool bookkeeping) stays in handleBatch.
+//
+//coup:hotpath
+func (s *Server) applyBatch(req *BatchRequest) (int, error) {
+	for i := range req.Updates {
+		if err := s.reg.Apply(&req.Updates[i]); err != nil {
+			return i, fmt.Errorf("record %d: %v", i, err)
+		}
+	}
+	return len(req.Updates), nil
+}
+
 // countBatch records one accepted batch in the telemetry structures.
+//
+//coup:hotpath
 func (s *Server) countBatch(applied int) {
 	s.batches.Inc()
 	s.updates.Add(int64(applied))
@@ -215,7 +228,13 @@ func (s *Server) countBatch(applied int) {
 
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	sc := s.snapScratch.Get().(*snapScratch)
-	defer s.snapScratch.Put(sc)
+	defer func() {
+		// Truncate before Put: a pooled scratch that kept its length would
+		// hand the next Get a view of this request's partial sums.
+		sc.i64 = sc.i64[:0]
+		sc.u64 = sc.u64[:0]
+		s.snapScratch.Put(sc)
+	}()
 	var snap Snapshot
 	t0 := time.Now()
 	err := s.reg.Snapshot(r.PathValue("name"), sc, &snap)
@@ -229,7 +248,11 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleBulkSnapshot(w http.ResponseWriter, r *http.Request) {
 	sc := s.snapScratch.Get().(*snapScratch)
-	defer s.snapScratch.Put(sc)
+	defer func() {
+		sc.i64 = sc.i64[:0]
+		sc.u64 = sc.u64[:0]
+		s.snapScratch.Put(sc)
+	}()
 	names := s.reg.Names()
 	bulk := BulkSnapshot{Structures: make([]Snapshot, 0, len(names))}
 	t0 := time.Now()
