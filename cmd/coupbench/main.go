@@ -8,6 +8,7 @@
 //	coupbench -exp all -scale 0.2     # everything, scaled down 5x
 //	coupbench -exp all -quick         # everything at benchmark scale (exp.BenchParams)
 //	coupbench -exp all -parallel 8    # fan independent simulations out over 8 workers
+//	coupbench -exp all -progress      # live sweep progress on stderr every 2s
 //	coupbench -list                   # enumerate experiment ids and descriptions
 //	coupbench -exp fig2 -csv results  # also write CSV files
 //
@@ -27,6 +28,7 @@ import (
 	"time"
 
 	"repro/internal/exp"
+	"repro/pkg/obs"
 )
 
 func main() {
@@ -39,6 +41,7 @@ func main() {
 		parallel = flag.Int("parallel", 0, "concurrent simulations per experiment (0 = GOMAXPROCS); never changes results")
 		csvDir   = flag.String("csv", "", "directory to write CSV outputs into")
 		list     = flag.Bool("list", false, "list experiment ids and exit")
+		progress = flag.Bool("progress", false, "report live sweep progress (specs done, arena warm-hit rate, worker busy time) on stderr every 2s")
 	)
 	flag.Parse()
 	if *parallel < 0 {
@@ -69,6 +72,11 @@ func main() {
 	}
 	p.Reps = *reps
 	p.Parallel = *parallel
+	if *progress {
+		p.Progress = obs.NewRegistry()
+		stopProgress := startProgress(p.Progress)
+		defer stopProgress()
+	}
 
 	var toRun []exp.Experiment
 	if strings.EqualFold(*expID, "all") {
@@ -105,5 +113,46 @@ func main() {
 			}
 		}
 		fmt.Printf("(%s in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+// startProgress launches the stderr progress reporter over the sweep
+// metrics registry and returns a stop func that prints a final summary.
+// Reading the counters is a reduce-on-read over the sweep workers'
+// private shards, so polling never perturbs the runs it reports on.
+func startProgress(reg *obs.Registry) (stop func()) {
+	specs := reg.Counter("coup_sweep_specs_total", "")
+	busy := reg.Counter("coup_sweep_busy_ns_total", "")
+	warm := reg.Counter("coup_sweep_arena_warm_total", "")
+	cold := reg.Counter("coup_sweep_arena_cold_total", "")
+	line := func(tag string) {
+		w, c := warm.Value(), cold.Value()
+		rate := 0.0
+		if w+c > 0 {
+			rate = float64(w) / float64(w+c) * 100
+		}
+		fmt.Fprintf(os.Stderr, "coupbench %s: %d specs done, arena warm-hit %.0f%% (%d/%d), workers busy %v\n",
+			tag, specs.Value(), rate, w, w+c,
+			(time.Duration(busy.Value()) * time.Nanosecond).Round(time.Millisecond))
+	}
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		tick := time.NewTicker(2 * time.Second)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				line("progress")
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		<-finished
+		line("total")
 	}
 }

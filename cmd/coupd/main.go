@@ -13,6 +13,11 @@
 //
 //	curl localhost:7077/v1/stats
 //	curl localhost:7077/v1/snapshot/<name>
+//	curl localhost:7077/metrics          # Prometheus text exposition
+//
+// With -pprof, net/http/pprof profile endpoints are mounted at
+// /debug/pprof/ on the same listener (off by default: profiles expose
+// process internals, so opt in explicitly).
 package main
 
 import (
@@ -21,6 +26,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -34,6 +40,7 @@ func main() {
 		addr         = flag.String("addr", ":7077", "listen address")
 		maxInFlight  = flag.Int("max-inflight", 0, "max concurrently-processed batches before 429 (0 = 4*GOMAXPROCS)")
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "how long shutdown waits for in-flight batches")
+		withPprof    = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
 
@@ -46,13 +53,30 @@ func main() {
 		fmt.Fprintf(os.Stderr, "coupd: %v\n", err)
 		os.Exit(2)
 	}
-	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+	var handler http.Handler = srv
+	if *withPprof {
+		// Explicit registrations on a private mux: importing net/http/pprof
+		// for its side effect would silently publish profiles on
+		// http.DefaultServeMux, which this process never serves.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", srv)
+		handler = mux
+	}
+	httpSrv := &http.Server{Addr: *addr, Handler: handler}
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
-	fmt.Printf("coupd: serving on %s (POST /v1/batch, GET /v1/snapshot[/{name}], GET /v1/stats)\n", *addr)
+	fmt.Printf("coupd: serving on %s (POST /v1/batch, GET /v1/snapshot[/{name}], GET /v1/stats, GET /metrics)\n", *addr)
+	if *withPprof {
+		fmt.Printf("coupd: pprof on %s/debug/pprof/\n", *addr)
+	}
 
 	select {
 	case err := <-errc:

@@ -32,16 +32,25 @@ import (
 	"repro/pkg/coupd"
 )
 
-// point is one JSON-emitted data point.
+// point is one JSON-emitted data point. The latency figures come from
+// the client-side obs histogram each rep records: p50/p99 are the mean
+// across reps, max is the worst rep, and the rep_* arrays carry every
+// rep's own quantiles.
 type point struct {
-	Kind         string  `json:"kind"`
-	Threads      int     `json:"threads"`
-	Batch        int     `json:"batch"`
-	Reps         int     `json:"reps"`
-	MeanNsPerOp  float64 `json:"mean_ns_per_op"`
-	CI95NsPerOp  float64 `json:"ci95_ns_per_op"`
-	UpdatesPerS  float64 `json:"updates_per_sec"`
-	CI95UpdatesS float64 `json:"ci95_updates_per_sec"`
+	Kind         string    `json:"kind"`
+	Threads      int       `json:"threads"`
+	Batch        int       `json:"batch"`
+	Reps         int       `json:"reps"`
+	MeanNsPerOp  float64   `json:"mean_ns_per_op"`
+	CI95NsPerOp  float64   `json:"ci95_ns_per_op"`
+	UpdatesPerS  float64   `json:"updates_per_sec"`
+	CI95UpdatesS float64   `json:"ci95_updates_per_sec"`
+	P50Ns        float64   `json:"p50_ns"`
+	P99Ns        float64   `json:"p99_ns"`
+	MaxNs        float64   `json:"max_ns"`
+	RepP50Ns     []float64 `json:"rep_p50_ns"`
+	RepP99Ns     []float64 `json:"rep_p99_ns"`
+	RepMaxNs     []float64 `json:"rep_max_ns"`
 }
 
 func main() {
@@ -86,7 +95,7 @@ func main() {
 	t := &stats.Table{
 		Title: fmt.Sprintf("coupd closed loop (%s): %d ops/worker, batch=%d, cells=%d bins=%d zipf=%.2f reads=%d, GOMAXPROCS=%d",
 			kind, *ops, *batch, *cells, *bins, *zipf, *reads, runtime.GOMAXPROCS(0)),
-		Headers: []string{"workers", "ns/op", "±ci95", "updates/s"},
+		Headers: []string{"workers", "ns/op", "±ci95", "updates/s", "p50", "p99", "max"},
 	}
 	var points []point
 	var worstCI float64
@@ -94,28 +103,41 @@ func main() {
 		c := swbench.Config{
 			Kind: kind, Impl: swbench.ImplCommute, Threads: th, Ops: *ops,
 			Cells: *cells, Bins: *bins, ZipfS: *zipf, ReadEvery: *reads, Seed: *seed,
-			NewDriver: swbench.HTTPDriver(base, *batch, nil),
+			NewDriver:     swbench.HTTPDriver(base, *batch, nil),
+			RecordLatency: true,
 		}
 		results, mean, ci, err := swbench.Measure(c, *reps)
 		if err != nil {
 			fail(1, err)
 		}
 		ups := make([]float64, len(results))
+		p50s := make([]float64, len(results))
+		p99s := make([]float64, len(results))
+		maxs := make([]float64, len(results))
+		var worstMax float64
 		for i, r := range results {
 			ups[i] = r.MOpsPerSec * 1e6
+			p50s[i], p99s[i], maxs[i] = r.LatP50Ns, r.LatP99Ns, r.LatMaxNs
+			if r.LatMaxNs > worstMax {
+				worstMax = r.LatMaxNs
+			}
 		}
 		upsMean, upsCI := stats.Mean(ups), stats.CI95(ups)
 		if mean > 0 && ci/mean > worstCI {
 			worstCI = ci / mean
 		}
-		t.AddRow(fmt.Sprint(th), stats.F(mean), stats.F(ci), stats.F(upsMean))
+		t.AddRow(fmt.Sprint(th), stats.F(mean), stats.F(ci), stats.F(upsMean),
+			stats.F(stats.Mean(p50s)), stats.F(stats.Mean(p99s)), stats.F(worstMax))
 		points = append(points, point{
 			Kind: string(kind), Threads: th, Batch: *batch, Reps: *reps,
 			MeanNsPerOp: mean, CI95NsPerOp: ci,
 			UpdatesPerS: upsMean, CI95UpdatesS: upsCI,
+			P50Ns: stats.Mean(p50s), P99Ns: stats.Mean(p99s), MaxNs: worstMax,
+			RepP50Ns: p50s, RepP99Ns: p99s, RepMaxNs: maxs,
 		})
 	}
 	t.AddNote("every run equivalence-checked: server-side reduction delta == client applied-op count (threads*ops), exactly")
+	t.AddNote("p50/p99/max are per-update-call latency from the client-side obs histogram (the op that flushes a batch absorbs the round-trip)")
 	if *reps > 1 {
 		t.AddNote("each cell is the mean of %d seeded reps; worst-case ±CI95 is %.1f%% of the mean", *reps, worstCI*100)
 	}

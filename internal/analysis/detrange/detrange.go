@@ -35,6 +35,9 @@ var Scope = []string{
 	"repro/internal/exp",
 	"repro/internal/workloads",
 	"repro/pkg/coup",
+	// pkg/obs exposition promises byte-identical pages for identical
+	// registry state; its map iterations must be sorted or order-free.
+	"repro/pkg/obs",
 }
 
 // Analyzer is the detrange check.

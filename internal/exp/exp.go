@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/stats"
 	"repro/pkg/coup"
+	"repro/pkg/obs"
 )
 
 // Params scales experiments. Scale 1.0 is the full (already
@@ -30,6 +31,14 @@ type Params struct {
 	MaxCores int
 	Parallel int
 	Verbose  bool
+	// Progress, when non-nil, receives live sweep metrics (specs done,
+	// busy time, arena warm/cold counts) via coup.WithSweepMetrics.
+	// Because sweepers are cached per parallelism degree for the whole
+	// process, the registry of the FIRST run at a given parallelism wins;
+	// harnesses (cmd/coupbench) use one process-wide registry, so this
+	// never bites in practice. Progress affects telemetry only, never
+	// results.
+	Progress *obs.Registry
 }
 
 // DefaultParams returns the full-run parameters.
@@ -187,21 +196,24 @@ var (
 	sweepers  = map[int]*coup.Sweeper{}
 )
 
-func sharedSweep(parallel int, specs []coup.RunSpec) []coup.SweepResult {
+func sharedSweep(p Params, specs []coup.RunSpec) []coup.SweepResult {
 	sweeperMu.Lock()
 	defer sweeperMu.Unlock()
-	s, ok := sweepers[parallel]
+	s, ok := sweepers[p.Parallel]
 	if !ok {
 		var sopts []coup.SweepOption
-		if parallel > 0 {
-			sopts = append(sopts, coup.WithParallelism(parallel))
+		if p.Parallel > 0 {
+			sopts = append(sopts, coup.WithParallelism(p.Parallel))
+		}
+		if p.Progress != nil {
+			sopts = append(sopts, coup.WithSweepMetrics(p.Progress))
 		}
 		var err error
 		s, err = coup.NewSweeper(sopts...)
 		if err != nil {
 			panic(fmt.Sprintf("exp: sweep: %v", err))
 		}
-		sweepers[parallel] = s
+		sweepers[p.Parallel] = s
 	}
 	return s.Run(specs)
 }
@@ -210,7 +222,7 @@ func sharedSweep(parallel int, specs []coup.RunSpec) []coup.SweepResult {
 // per point. It panics on any failed run (an experiment must not silently
 // report results from a broken run).
 func (g *grid) run() {
-	results := sharedSweep(g.p.Parallel, g.specs)
+	results := sharedSweep(g.p, g.specs)
 	for i, res := range results {
 		if res.Err != nil {
 			panic(fmt.Sprintf("exp: sweep spec %d of %d: %v", i, len(results), res.Err))

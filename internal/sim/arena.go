@@ -32,10 +32,20 @@ package sim
 // holds to the garbage collector.
 type Arena struct {
 	free map[machineShape][]*Machine
+	// Pool effectiveness counters, read via PoolStats. Plain words: an
+	// Arena is single-worker by contract, so these need no atomics; the
+	// sweep layer reduces per-worker deltas into shared metrics.
+	warm uint64 // NewIn calls served from the pool
+	cold uint64 // NewIn calls that built a fresh machine
 }
 
 // NewArena returns an empty machine arena.
 func NewArena() *Arena { return &Arena{free: map[machineShape][]*Machine{}} }
+
+// PoolStats reports how many NewIn calls this arena served from its pool
+// (warm) versus by building a fresh machine (cold). Monotonic over the
+// arena's lifetime.
+func (a *Arena) PoolStats() (warm, cold uint64) { return a.warm, a.cold }
 
 // machineShape is the geometry key under which an Arena pools machines:
 // every Config field that determines allocation sizes. Two configs with
@@ -70,12 +80,14 @@ func NewIn(a *Arena, cfg Config) *Machine {
 	}
 	shape := shapeOf(&cfg)
 	if list := a.free[shape]; len(list) > 0 {
+		a.warm++
 		m := list[len(list)-1]
 		list[len(list)-1] = nil
 		a.free[shape] = list[:len(list)-1]
 		m.reset(cfg)
 		return m
 	}
+	a.cold++
 	m := New(cfg)
 	m.arena = a
 	m.shape = shape

@@ -1,0 +1,39 @@
+package swbench
+
+import "testing"
+
+func TestRunRecordsLatency(t *testing.T) {
+	res, err := Run(Config{
+		Kind: KindCounter, Impl: ImplCommute,
+		Threads: 2, Ops: 5000, Cells: 4, Seed: 1,
+		RecordLatency: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total != 2*5000 {
+		t.Fatalf("Total = %d, want %d", res.Total, 2*5000)
+	}
+	if res.LatMaxNs <= 0 {
+		t.Errorf("LatMaxNs = %v, want > 0", res.LatMaxNs)
+	}
+	if res.LatP50Ns <= 0 || res.LatP50Ns > res.LatMaxNs {
+		t.Errorf("LatP50Ns = %v outside (0, max=%v]", res.LatP50Ns, res.LatMaxNs)
+	}
+	if res.LatP99Ns < res.LatP50Ns || res.LatP99Ns > res.LatMaxNs {
+		t.Errorf("quantiles not ordered: p50=%v p99=%v max=%v", res.LatP50Ns, res.LatP99Ns, res.LatMaxNs)
+	}
+}
+
+func TestRunWithoutLatencyLeavesZeros(t *testing.T) {
+	res, err := Run(Config{
+		Kind: KindCounter, Impl: ImplCommute,
+		Threads: 1, Ops: 1000, Cells: 1, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LatP50Ns != 0 || res.LatP99Ns != 0 || res.LatMaxNs != 0 {
+		t.Errorf("latency fields populated without RecordLatency: %+v", res)
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/stats"
+	"repro/pkg/obs"
 )
 
 // Impl selects the implementation under test.
@@ -77,6 +78,14 @@ type Config struct {
 	// in-process implementation named by Impl; cmd/coupload installs the
 	// batched HTTP driver here.
 	NewDriver DriverMaker `json:"-"`
+	// RecordLatency times every Update call into a shared obs log2
+	// histogram so the Result carries p50/p99/max alongside throughput.
+	// Off by default: the two time.Now calls per op are noise for
+	// nanosecond-scale in-process drivers, but cheap next to an RPC —
+	// cmd/coupload turns this on. For batched transports the op that
+	// triggers a flush absorbs the round-trip, so the tail quantiles
+	// surface the RPC cost the mean hides.
+	RecordLatency bool
 }
 
 // Result is one measured run.
@@ -88,6 +97,12 @@ type Result struct {
 	// Total is the final reduced sum over all cells/bins, for validation:
 	// it must equal Threads*Ops regardless of implementation.
 	Total uint64
+	// Per-update-call latency quantiles in nanoseconds, populated only
+	// when Config.RecordLatency is set (p50/p99 interpolated within log2
+	// buckets, max exact).
+	LatP50Ns float64
+	LatP99Ns float64
+	LatMaxNs float64
 }
 
 // Run executes one configuration and returns its measurement. The target
@@ -123,6 +138,10 @@ func Run(c Config) (Result, error) {
 	for t := range workers {
 		workers[t] = d.Worker(t)
 	}
+	var lat *obs.Histogram
+	if c.RecordLatency {
+		lat = obs.NewHistogram(latencyBins)
+	}
 	flushErrs := make([]error, c.Threads)
 	var wg sync.WaitGroup
 	start := make(chan struct{})
@@ -131,14 +150,27 @@ func Run(c Config) (Result, error) {
 		go func(w Worker, seq []uint32, errp *error) {
 			defer wg.Done()
 			<-start
-			if c.ReadEvery > 0 {
+			switch {
+			case lat != nil:
+				// Latency-recording variant: the histogram writes are the
+				// sharded update-only path, so timing N workers into one
+				// histogram adds no cross-worker contention.
+				for i, cell := range seq {
+					u0 := time.Now()
+					w.Update(int(cell))
+					lat.Observe(time.Since(u0).Nanoseconds())
+					if c.ReadEvery > 0 && (i+1)%c.ReadEvery == 0 {
+						w.Read(int(cell))
+					}
+				}
+			case c.ReadEvery > 0:
 				for i, cell := range seq {
 					w.Update(int(cell))
 					if (i+1)%c.ReadEvery == 0 {
 						w.Read(int(cell))
 					}
 				}
-			} else {
+			default:
 				for _, cell := range seq {
 					w.Update(int(cell))
 				}
@@ -165,14 +197,26 @@ func Run(c Config) (Result, error) {
 		return Result{}, fmt.Errorf("swbench: %s/%s reduced to %d updates, want %d", c.Kind, c.Impl, total, want)
 	}
 	ops := float64(want)
-	return Result{
+	res := Result{
 		Config:     c,
 		Elapsed:    elapsed,
 		NsPerOp:    float64(elapsed.Nanoseconds()) / ops,
 		MOpsPerSec: ops / elapsed.Seconds() / 1e6,
 		Total:      total,
-	}, nil
+	}
+	if lat != nil {
+		var s obs.HistSnapshot
+		lat.Snapshot(&s)
+		res.LatP50Ns = s.Quantile(0.50)
+		res.LatP99Ns = s.Quantile(0.99)
+		res.LatMaxNs = float64(s.Max)
+	}
+	return res, nil
 }
+
+// latencyBins spans 1ns to ~2s in log2 buckets, the full range a single
+// update call (buffered append through blocking RPC) can take.
+const latencyBins = 32
 
 // Measure runs the configuration reps times (varying the seed) and
 // returns the per-rep results plus the mean and CI95 half-width of

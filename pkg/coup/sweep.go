@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/sim"
+	"repro/pkg/obs"
 )
 
 // RunSpec describes one simulation in a Sweep: which workload to run and
@@ -37,6 +39,7 @@ type SweepResult struct {
 type sweepConfig struct {
 	parallelism int
 	arena       bool
+	metrics     *obs.Registry
 }
 
 // SweepOption configures a Sweep (not the machines inside it).
@@ -70,6 +73,21 @@ func WithMachineArena(on bool) SweepOption {
 	}
 }
 
+// WithSweepMetrics publishes sweep progress into reg as it happens:
+// coup_sweep_specs_total (specs finished), coup_sweep_busy_ns_total
+// (summed per-worker simulation time), and coup_sweep_arena_warm_total /
+// coup_sweep_arena_cold_total (machine pool hits vs fresh builds, the
+// arena warm-hit rate). The counters are obs update-only writes from
+// each worker, so a progress reader (cmd/coupbench -progress) can reduce
+// them live without perturbing the sweep. Nil reg disables metrics (the
+// default); metrics never change results.
+func WithSweepMetrics(reg *obs.Registry) SweepOption {
+	return func(c *sweepConfig) error {
+		c.metrics = reg
+		return nil
+	}
+}
+
 // Sweeper is a validated, reusable sweep engine. NewSweeper derives the
 // worker count and builds the per-worker machine arenas once; every Run
 // then fans its specs out over that fixed pool, so repeated sweeps (a
@@ -80,7 +98,18 @@ func WithMachineArena(on bool) SweepOption {
 type Sweeper struct {
 	parallelism int
 	arenas      []*sim.Arena // one per worker slot; nil when arenas are off
+
+	// Progress metrics; all nil unless WithSweepMetrics was given.
+	specsDone  *obs.Counter
+	busyNs     *obs.Counter
+	arenaWarm  *obs.Counter
+	arenaCold  *obs.Counter
+	arenaSyncs []arenaSync // per-worker last-published pool stats
 }
+
+// arenaSync tracks what a worker's arena counters last published, so
+// each spec's finish adds only the delta to the shared totals.
+type arenaSync struct{ warm, cold uint64 }
 
 // NewSweeper validates opts and returns a reusable Sweeper. Option errors
 // (e.g. WithParallelism(0)) surface here, typed, rather than inside every
@@ -102,6 +131,13 @@ func NewSweeper(opts ...SweepOption) (*Sweeper, error) {
 			s.arenas[i] = sim.NewArena()
 		}
 	}
+	if m := cfg.metrics; m != nil {
+		s.specsDone = m.Counter("coup_sweep_specs_total", "Sweep specs finished.")
+		s.busyNs = m.Counter("coup_sweep_busy_ns_total", "Summed per-worker simulation time in nanoseconds.")
+		s.arenaWarm = m.Counter("coup_sweep_arena_warm_total", "Machines served from a worker's arena pool.")
+		s.arenaCold = m.Counter("coup_sweep_arena_cold_total", "Machines built fresh (arena pool miss).")
+		s.arenaSyncs = make([]arenaSync, cfg.parallelism)
+	}
 	return s, nil
 }
 
@@ -119,7 +155,7 @@ func (s *Sweeper) Run(specs []RunSpec) []SweepResult {
 	if workers <= 1 {
 		a := s.arena(0)
 		for i := range specs {
-			out[i] = runSpec(a, specs[i])
+			out[i] = s.runCounted(0, a, specs[i])
 		}
 		return out
 	}
@@ -131,7 +167,7 @@ func (s *Sweeper) Run(specs []RunSpec) []SweepResult {
 			defer wg.Done()
 			a := s.arena(w)
 			for i := range idx {
-				out[i] = runSpec(a, specs[i])
+				out[i] = s.runCounted(w, a, specs[i])
 			}
 		}(w)
 	}
@@ -149,6 +185,29 @@ func (s *Sweeper) arena(w int) *sim.Arena {
 		return nil
 	}
 	return s.arenas[w]
+}
+
+// runCounted executes one spec and, when progress metrics are on,
+// publishes its completion: busy time, the spec count, and the worker
+// arena's pool-stat deltas since its last publish. Each write is an obs
+// update-only add on the worker's own shard, so progress costs the sweep
+// nothing measurable and a concurrent reader sees live totals.
+func (s *Sweeper) runCounted(w int, a *sim.Arena, spec RunSpec) SweepResult {
+	if s.specsDone == nil {
+		return runSpec(a, spec)
+	}
+	t0 := time.Now()
+	res := runSpec(a, spec)
+	s.busyNs.Add(time.Since(t0).Nanoseconds())
+	s.specsDone.Inc()
+	if a != nil {
+		warm, cold := a.PoolStats()
+		last := &s.arenaSyncs[w]
+		s.arenaWarm.Add(int64(warm - last.warm))
+		s.arenaCold.Add(int64(cold - last.cold))
+		last.warm, last.cold = warm, cold
+	}
+	return res
 }
 
 // Sweep executes every spec across a bounded worker pool and returns one

@@ -42,6 +42,7 @@
 //	GET  /v1/snapshot/{name}   reduce one structure into a Snapshot
 //	GET  /v1/snapshot          reduce every structure (BulkSnapshot)
 //	GET  /v1/stats             service self-telemetry (Stats)
+//	GET  /metrics              Prometheus text exposition (pkg/obs)
 //
 // Structures are created on first update (create-on-first-update, like a
 // metrics library's GetOrRegister); a later update naming the same
@@ -60,8 +61,15 @@
 // batches get 503), waits for in-flight batches to land, and leaves
 // snapshots serving, so a shutdown loses no acknowledged update.
 //
+// # Observability
+//
 // The server's own telemetry — batch and update counters, reduce-latency
-// extremes, batch-size histogram, in-flight depth — is kept in
-// pkg/commute structures, so the service's hottest metadata words enjoy
-// the same commutative treatment it sells.
+// and batch-size histograms, in-flight depth, runtime gauges — lives in
+// a pkg/obs registry (pkg/commute underneath), so the service's hottest
+// metadata words enjoy the same commutative treatment it sells: handlers
+// write update-only, and both GET /metrics and /v1/stats are
+// reduce-on-read views of one state. A per-P obs.Ring additionally
+// records request span, batch-apply, and reduce events; Server.Trace
+// exposes it for capture. See the pkg/obs package docs for how these map
+// onto the paper's U-state/S-state vocabulary.
 package coupd

@@ -5,13 +5,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"math/bits"
 	"net/http"
 	"runtime"
 	"sync"
 	"time"
 
-	"repro/pkg/commute"
+	"repro/pkg/obs"
 )
 
 // MaxBatchBytes bounds a batch request body.
@@ -32,20 +31,32 @@ type Server struct {
 	mux   *http.ServeMux
 	start time.Time
 
-	// Self-telemetry, dogfooded in pkg/commute structures: the server's
-	// hottest metadata words take the same update-only fast path it
-	// serves, and /v1/stats is just another reduce-on-read.
-	batches     *commute.Counter   // accepted batches
-	updates     *commute.Counter   // records applied
-	rejected    *commute.Counter   // 429s
-	snapshots   *commute.Counter   // snapshot requests served
-	reduceSum   *commute.Counter   // cumulative snapshot reduce ns
-	reduceNs    *commute.MinMax    // per-request reduce latency extremes
-	batchLen    *commute.Histogram // log2-bucketed accepted batch sizes
-	depth       *commute.Counter   // in-flight batches right now
-	batchReqs   sync.Pool          // *BatchRequest, decode reuse
-	snapScratch sync.Pool          // *snapScratch, reduction reuse
+	// Self-telemetry, dogfooded through pkg/obs (itself pkg/commute
+	// underneath): the server's hottest metadata words take the same
+	// update-only fast path it serves; /v1/stats and GET /metrics are
+	// both just reduce-on-read views of the same registry.
+	metrics     *obs.Registry
+	trace       *obs.Ring      // per-P span/batch/reduce event ring
+	batches     *obs.Counter   // accepted batches
+	updates     *obs.Counter   // records applied
+	rejected    *obs.Counter   // 429s
+	snapshots   *obs.Counter   // snapshot requests served
+	reduceNs    *obs.Histogram // per-request reduce latency, log2 buckets
+	batchLen    *obs.Histogram // log2-bucketed accepted batch sizes
+	depth       *obs.Counter   // in-flight batches right now
+	batchReqs   sync.Pool      // *BatchRequest, decode reuse
+	snapScratch sync.Pool      // *snapScratch, reduction reuse
 }
+
+// Trace span ids, the ID field of the server's obs.Ring records.
+const (
+	traceBatch    uint16 = 1 // POST /v1/batch
+	traceSnapshot uint16 = 2 // GET /v1/snapshot[/{name}]
+)
+
+// traceSlotsPerShard bounds the trace ring's memory: shards × slots ×
+// 32 bytes, a few hundred KiB at worst.
+const traceSlotsPerShard = 1024
 
 // Option configures New.
 type Option func(*Server) error
@@ -64,18 +75,25 @@ func WithMaxInFlight(n int) Option {
 
 // New builds a Server over a fresh registry.
 func New(opts ...Option) (*Server, error) {
+	m := obs.NewRegistry()
 	s := &Server{
 		reg:       NewRegistry(),
 		start:     time.Now(),
-		batches:   commute.MustCounter(),
-		updates:   commute.MustCounter(),
-		rejected:  commute.MustCounter(),
-		snapshots: commute.MustCounter(),
-		reduceSum: commute.MustCounter(),
-		reduceNs:  commute.MustMinMax(),
-		batchLen:  commute.MustHistogram(16),
-		depth:     commute.MustCounter(),
+		metrics:   m,
+		trace:     obs.NewRing(traceSlotsPerShard),
+		batches:   m.Counter("coupd_batches_total", "Accepted update batches."),
+		updates:   m.Counter("coupd_updates_total", "Update records applied."),
+		rejected:  m.Counter("coupd_rejected_total", "Batches rejected with 429 (saturated)."),
+		snapshots: m.Counter("coupd_snapshots_total", "Snapshot requests served."),
+		reduceNs:  m.Histogram("coupd_reduce_ns", "Snapshot reduce-on-read latency in nanoseconds.", 32),
+		batchLen:  m.Histogram("coupd_batch_size", "Applied records per accepted batch.", 16),
+		depth:     m.UpDownCounter("coupd_in_flight", "Batches being processed right now."),
 	}
+	m.Gauge("coupd_structures", "Registered commutative structures.",
+		func() int64 { return int64(s.reg.Len()) })
+	m.Gauge("coupd_uptime_seconds", "Seconds since the server was built.",
+		func() int64 { return int64(time.Since(s.start).Seconds()) })
+	obs.RegisterRuntimeMetrics(m)
 	for _, opt := range opts {
 		if opt == nil {
 			continue
@@ -95,12 +113,21 @@ func New(opts ...Option) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/snapshot/{name}", s.handleSnapshot)
 	s.mux.HandleFunc("GET /v1/snapshot", s.handleBulkSnapshot)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.Handle("GET /metrics", m.Handler())
 	return s, nil
 }
 
 // Registry exposes the server's structure registry (for embedding the
 // server in a larger process that also updates in-process).
 func (s *Server) Registry() *Registry { return s.reg }
+
+// Metrics exposes the server's telemetry registry, the same families
+// served at GET /metrics (for embedding processes that add their own).
+func (s *Server) Metrics() *obs.Registry { return s.metrics }
+
+// Trace exposes the server's span/batch/reduce event ring; Dump it (or
+// obs.WriteTrace it) to capture recent request activity.
+func (s *Server) Trace() *obs.Ring { return s.trace }
 
 // ServeHTTP makes Server an http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -156,6 +183,11 @@ func (s *Server) enterBatch() (release func(), err error) {
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
+	s.trace.Record(obs.EvSpanBegin, traceBatch, 0, 0)
+	defer func() {
+		s.trace.Record(obs.EvSpanEnd, traceBatch, uint64(time.Since(t0).Nanoseconds()), 0)
+	}()
 	release, err := s.enterBatch()
 	if err != nil {
 		status := http.StatusServiceUnavailable
@@ -210,23 +242,24 @@ func (s *Server) applyBatch(req *BatchRequest) (int, error) {
 	return len(req.Updates), nil
 }
 
-// countBatch records one accepted batch in the telemetry structures.
+// countBatch records one accepted batch in the telemetry structures:
+// two counter adds, one histogram observe (obs uses the same floor-log2
+// bucketing countBatch used to compute by hand), one trace record.
 //
 //coup:hotpath
 func (s *Server) countBatch(applied int) {
 	s.batches.Inc()
 	s.updates.Add(int64(applied))
-	bucket := 0
-	if applied > 1 {
-		bucket = bits.Len(uint(applied)) - 1
-	}
-	if bucket > s.batchLen.Bins()-1 {
-		bucket = s.batchLen.Bins() - 1
-	}
-	s.batchLen.Inc(bucket)
+	s.batchLen.Observe(int64(applied))
+	s.trace.Record(obs.EvBatchApply, traceBatch, uint64(applied), 0)
 }
 
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	span := time.Now()
+	s.trace.Record(obs.EvSpanBegin, traceSnapshot, 0, 0)
+	defer func() {
+		s.trace.Record(obs.EvSpanEnd, traceSnapshot, uint64(time.Since(span).Nanoseconds()), 0)
+	}()
 	sc := s.snapScratch.Get().(*snapScratch)
 	defer func() {
 		// Truncate before Put: a pooled scratch that kept its length would
@@ -247,6 +280,11 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleBulkSnapshot(w http.ResponseWriter, r *http.Request) {
+	span := time.Now()
+	s.trace.Record(obs.EvSpanBegin, traceSnapshot, 0, 0)
+	defer func() {
+		s.trace.Record(obs.EvSpanEnd, traceSnapshot, uint64(time.Since(span).Nanoseconds()), 0)
+	}()
 	sc := s.snapScratch.Get().(*snapScratch)
 	defer func() {
 		sc.i64 = sc.i64[:0]
@@ -273,15 +311,21 @@ func (s *Server) handleBulkSnapshot(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, &bulk)
 }
 
-// countReduce records one snapshot request's reduction latency.
+// countReduce records one snapshot request's reduction latency into the
+// log2 histogram — the full distribution, not just extremes — plus the
+// trace ring.
+//
+//coup:hotpath
 func (s *Server) countReduce(d time.Duration) {
 	s.snapshots.Inc()
-	s.reduceSum.Add(d.Nanoseconds())
 	s.reduceNs.Observe(d.Nanoseconds())
+	s.trace.Record(obs.EvReduce, traceSnapshot, uint64(d.Nanoseconds()), 0)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	uptime := time.Since(s.start).Seconds()
+	var batchLen obs.HistSnapshot
+	s.batchLen.Snapshot(&batchLen)
 	st := Stats{
 		UptimeSec:    uptime,
 		Structures:   int64(s.reg.Len()),
@@ -291,7 +335,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Snapshots:    s.snapshots.Value(),
 		InFlight:     s.depth.Value(),
 		MaxInFlight:  s.maxInFlight,
-		BatchLenLog2: s.batchLen.Snapshot(nil),
+		BatchLenLog2: batchLen.Buckets,
 	}
 	s.drainMu.RLock()
 	st.Draining = s.draining
@@ -300,11 +344,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		st.BatchesPerSec = float64(st.Batches) / uptime
 		st.UpdatesPerSec = float64(st.Updates) / uptime
 	}
-	if n := s.reduceNs.N(); n > 0 {
-		mn, _ := s.reduceNs.Min()
-		mx, _ := s.reduceNs.Max()
-		st.ReduceNsMin, st.ReduceNsMax = mn, mx
-		st.ReduceNsMean = float64(s.reduceSum.Value()) / float64(n)
+	var reduce obs.HistSnapshot
+	s.reduceNs.Snapshot(&reduce)
+	if reduce.Count > 0 {
+		st.ReduceNsMin, st.ReduceNsMax = reduce.Min, reduce.Max
+		st.ReduceNsMean = reduce.Mean()
 	}
 	writeJSON(w, http.StatusOK, &st)
 }

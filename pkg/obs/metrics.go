@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"repro/pkg/commute"
+)
+
+// Counter is a named, registry-owned counter over commute.Counter: adds
+// take the sharded update-only path, reads reduce. The same type backs
+// both monotonic counters and up/down counters (queue depths); only the
+// exposition TYPE differs.
+type Counter struct {
+	name  string
+	help  string
+	gauge bool
+	c     *commute.Counter
+}
+
+func newCounter(name, help string, gauge bool) *Counter {
+	return &Counter{name: name, help: help, gauge: gauge, c: commute.MustCounter()}
+}
+
+// Inc adds one.
+//
+//coup:hotpath
+func (c *Counter) Inc() { c.c.Add(1) }
+
+// Dec subtracts one (up/down counters only by convention; the type does
+// not enforce monotonicity).
+//
+//coup:hotpath
+func (c *Counter) Dec() { c.c.Add(-1) }
+
+// Add folds delta in on the calling goroutine's shard.
+//
+//coup:hotpath
+func (c *Counter) Add(delta int64) { c.c.Add(delta) }
+
+// Value reduces the shards and returns the count.
+func (c *Counter) Value() int64 { return c.c.Value() }
+
+func (c *Counter) expoName() string { return c.name }
+func (c *Counter) expoHelp() string { return c.help }
+
+func (c *Counter) writeExpo(b []byte) []byte {
+	kind := "counter"
+	if c.gauge {
+		kind = "gauge"
+	}
+	b = appendHeader(b, c.name, c.help, kind)
+	b = appendSampleInt(b, c.name, c.c.Value())
+	return b
+}
+
+// Gauge is a sampled-on-read metric: fn is evaluated when the gauge is
+// read or exposed, never stored. It suits facts that already live
+// elsewhere (goroutine counts, heap bytes, registry sizes) — the metric
+// layer only needs a window onto them, not a copy.
+type Gauge struct {
+	name string
+	help string
+	fn   func() int64
+}
+
+// Value samples the gauge.
+func (g *Gauge) Value() int64 { return g.fn() }
+
+func (g *Gauge) expoName() string { return g.name }
+func (g *Gauge) expoHelp() string { return g.help }
+
+func (g *Gauge) writeExpo(b []byte) []byte {
+	b = appendHeader(b, g.name, g.help, "gauge")
+	b = appendSampleInt(b, g.name, g.fn())
+	return b
+}
+
+// MinMax tracks running extremes plus an observation count over
+// commute.MinMax. It is exposed as three gauge families — name_count,
+// name_max, name_min — since Prometheus has no native extremes type.
+type MinMax struct {
+	name string
+	help string
+	m    *commute.MinMax
+}
+
+func newMinMax(name, help string) *MinMax {
+	return &MinMax{name: name, help: help, m: commute.MustMinMax()}
+}
+
+// Observe folds v into the calling goroutine's shard.
+//
+//coup:hotpath
+func (m *MinMax) Observe(v int64) { m.m.Observe(v) }
+
+// N reduces the observation count.
+func (m *MinMax) N() uint64 { return m.m.N() }
+
+// Min reduces the shards' minima; ok is false when nothing has been
+// observed.
+func (m *MinMax) Min() (int64, bool) { return m.m.Min() }
+
+// Max reduces the shards' maxima; ok is false when nothing has been
+// observed.
+func (m *MinMax) Max() (int64, bool) { return m.m.Max() }
+
+func (m *MinMax) expoName() string { return m.name }
+func (m *MinMax) expoHelp() string { return m.help }
+
+func (m *MinMax) writeExpo(b []byte) []byte {
+	min, ok := m.m.Min()
+	max, _ := m.m.Max()
+	if !ok {
+		min, max = 0, 0
+	}
+	b = appendHeader(b, m.name+"_count", m.help+" (observations)", "gauge")
+	b = appendSampleUint(b, m.name+"_count", m.m.N())
+	b = appendHeader(b, m.name+"_max", m.help+" (maximum)", "gauge")
+	b = appendSampleInt(b, m.name+"_max", max)
+	b = appendHeader(b, m.name+"_min", m.help+" (minimum)", "gauge")
+	b = appendSampleInt(b, m.name+"_min", min)
+	return b
+}

@@ -1,0 +1,34 @@
+package obs
+
+import (
+	"runtime"
+	rtmetrics "runtime/metrics"
+)
+
+// readRuntimeUint samples one runtime/metrics value. A fresh sample
+// slice per call keeps concurrent scrapes race-free; exposition is a
+// read path, so the small allocation is fine.
+func readRuntimeUint(name string) int64 {
+	s := []rtmetrics.Sample{{Name: name}}
+	rtmetrics.Read(s)
+	if s[0].Value.Kind() != rtmetrics.KindUint64 {
+		return 0
+	}
+	return int64(s[0].Value.Uint64())
+}
+
+// RegisterRuntimeMetrics installs sampled gauges for the runtime facts a
+// scrape of a long-running process wants: goroutine count, completed GC
+// cycles, and live heap bytes. The GC and heap figures come from
+// runtime/metrics, which reads cheap runtime-internal counters rather
+// than the stop-the-world ReadMemStats path, so scraping stays
+// non-disruptive. Safe to call more than once per registry: the gauges
+// are GetOrCreate like every other metric.
+func RegisterRuntimeMetrics(r *Registry) {
+	r.Gauge("go_goroutines", "Number of live goroutines.",
+		func() int64 { return int64(runtime.NumGoroutine()) })
+	r.Gauge("go_gc_cycles_total", "Completed GC cycles.",
+		func() int64 { return readRuntimeUint("/gc/cycles/total:gc-cycles") })
+	r.Gauge("go_heap_alloc_bytes", "Bytes of live heap objects.",
+		func() int64 { return readRuntimeUint("/memory/classes/heap/objects:bytes") })
+}

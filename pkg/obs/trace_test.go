@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+func TestRingRecordDump(t *testing.T) {
+	r := NewRing(128)
+	r.Record(EvSpanBegin, 7, 100, 0)
+	r.Record(EvBatchApply, 7, 64, 0)
+	r.Record(EvReduce, 7, 12345, 0)
+	r.Record(EvSpanEnd, 7, 100, 0)
+
+	events := r.Dump()
+	if len(events) != 4 {
+		t.Fatalf("Dump returned %d events, want 4", len(events))
+	}
+	wantKinds := []EventKind{EvSpanBegin, EvBatchApply, EvReduce, EvSpanEnd}
+	var last int64 = -1
+	for i, e := range events {
+		if e.Kind != wantKinds[i] {
+			t.Errorf("event %d kind = %v, want %v", i, e.Kind, wantKinds[i])
+		}
+		if e.ID != 7 {
+			t.Errorf("event %d id = %d, want 7", i, e.ID)
+		}
+		if e.TimeNs < last {
+			t.Errorf("event %d out of time order: %d after %d", i, e.TimeNs, last)
+		}
+		last = e.TimeNs
+	}
+	if events[1].Arg1 != 64 || events[2].Arg1 != 12345 {
+		t.Errorf("args not preserved: %+v", events[1:3])
+	}
+}
+
+func TestRingWrapKeepsNewest(t *testing.T) {
+	r := NewRing(8) // 8 slots per shard
+	total := 8 * r.Shards() * 4
+	for i := 0; i < total; i++ {
+		r.Record(EvBatchApply, 0, uint64(i), 0)
+	}
+	events := r.Dump()
+	if len(events) == 0 {
+		t.Fatal("Dump returned nothing after wrap")
+	}
+	if max := 8 * r.Shards(); len(events) > max {
+		t.Fatalf("Dump returned %d events, capacity is %d", len(events), max)
+	}
+	// Every surviving record must be from the newest writes through its
+	// shard: seq within the last 8 of that shard's cursor.
+	for _, e := range events {
+		if e.Arg1 < uint64(total)-uint64(8*r.Shards()*2) {
+			t.Errorf("stale record survived wrap: %+v", e)
+		}
+	}
+}
+
+func TestTraceBinaryRoundTrip(t *testing.T) {
+	r := NewRing(64)
+	r.Record(EvSpanBegin, 1, 11, 22)
+	r.Record(EvReduce, 2, 33, 44)
+	r.Record(EvSpanEnd, 1, 11, 55)
+
+	var buf bytes.Buffer
+	wrote, err := r.DumpTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wrote) != 3 {
+		t.Fatalf("DumpTo wrote %d events, want 3", len(wrote))
+	}
+	if want := 16 + 3*traceRecBytes; buf.Len() != want {
+		t.Errorf("trace stream is %d bytes, want %d", buf.Len(), want)
+	}
+
+	back, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(wrote) {
+		t.Fatalf("ReadTrace returned %d events, want %d", len(back), len(wrote))
+	}
+	for i := range back {
+		if back[i] != wrote[i] {
+			t.Errorf("event %d round-trip mismatch:\n wrote %+v\n read  %+v", i, wrote[i], back[i])
+		}
+	}
+}
+
+func TestReadTraceRejectsBadMagic(t *testing.T) {
+	if _, err := ReadTrace(bytes.NewReader([]byte("NOTATRACEFILE...."))); err == nil {
+		t.Error("ReadTrace accepted bad magic")
+	}
+	if _, err := ReadTrace(bytes.NewReader(nil)); err == nil {
+		t.Error("ReadTrace accepted empty stream")
+	}
+}
+
+// TestRingConcurrent hammers the ring from many goroutines while dumping,
+// for -race and for the torn-read guarantee: every returned event must
+// be internally consistent (args echo the kind's contract below).
+func TestRingConcurrent(t *testing.T) {
+	r := NewRing(256)
+	const workers, perWorker = 8, 5000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				// arg2 = arg1 + 1: the invariant a torn read would break.
+				v := uint64(w*perWorker + i)
+				r.Record(EvBatchApply, uint16(w), v, v+1)
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, e := range r.Dump() {
+				if e.Arg2 != e.Arg1+1 {
+					t.Errorf("torn record surfaced: %+v", e)
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	<-done
+
+	for _, e := range r.Dump() {
+		if e.Arg2 != e.Arg1+1 {
+			t.Errorf("torn record in final dump: %+v", e)
+		}
+	}
+}
