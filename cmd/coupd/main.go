@@ -41,6 +41,18 @@ func main() {
 		maxInFlight  = flag.Int("max-inflight", 0, "max concurrently-processed batches before 429 (0 = 4*GOMAXPROCS)")
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "how long shutdown waits for in-flight batches")
 		withPprof    = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
+
+		// Connection timeouts. The zero value (Go's default) means "wait
+		// forever", which lets one slowloris client — a connection trickling
+		// header bytes — hold a file descriptor indefinitely; every knob
+		// defaults to a bound sized generously above honest traffic.
+		readHeaderTimeout = flag.Duration("read-header-timeout", 5*time.Second, "max time to read a request's headers (slowloris bound)")
+		readTimeout       = flag.Duration("read-timeout", 30*time.Second, "max time to read a full request, body included")
+		writeTimeout      = flag.Duration("write-timeout", 30*time.Second, "max time to write a response")
+		idleTimeout       = flag.Duration("idle-timeout", 2*time.Minute, "how long an idle keep-alive connection is kept open")
+
+		sessMax = flag.Int("dedup-sessions", coupd.DefaultMaxSessions, "max exactly-once dedup sessions kept (LRU-evicted beyond)")
+		sessTTL = flag.Duration("dedup-session-ttl", coupd.DefaultSessionTTL, "idle time before a dedup session is evicted")
 	)
 	flag.Parse()
 
@@ -48,6 +60,7 @@ func main() {
 	if *maxInFlight > 0 {
 		opts = append(opts, coupd.WithMaxInFlight(*maxInFlight))
 	}
+	opts = append(opts, coupd.WithDedupSessions(*sessMax, *sessTTL))
 	srv, err := coupd.New(opts...)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "coupd: %v\n", err)
@@ -67,7 +80,14 @@ func main() {
 		mux.Handle("/", srv)
 		handler = mux
 	}
-	httpSrv := &http.Server{Addr: *addr, Handler: handler}
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           handler,
+		ReadHeaderTimeout: *readHeaderTimeout,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
+	}
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()

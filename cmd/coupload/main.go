@@ -4,7 +4,10 @@
 // POST /v1/batch requests, and gives the service the simulator's
 // mean ± CI95 treatment. Every run is equivalence-checked: the
 // server-side reduction's delta must equal the client-side applied-op
-// count exactly, or the run fails.
+// count exactly, or the run fails. Delivery is exactly once — each
+// worker writes through its own coupd dedup session, so transport
+// faults, 5xx answers, and 429 saturation are retried (full-jitter
+// backoff under -retry-budget) without losing or duplicating a batch.
 //
 // Usage:
 //
@@ -26,6 +29,7 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/stats"
 	"repro/internal/swbench"
@@ -68,6 +72,7 @@ func main() {
 		reps     = flag.Int("reps", 3, "seeded repetitions per data point (mean ± CI95)")
 		seed     = flag.Uint64("seed", 1, "base seed (rep r runs with seed+r)")
 		asJSON   = flag.Bool("json", false, "emit data points as JSON")
+		budget   = flag.Duration("retry-budget", 30*time.Second, "per-batch exactly-once retry budget (transport faults, 5xx, 429 backoff)")
 	)
 	flag.Parse()
 
@@ -103,7 +108,7 @@ func main() {
 		c := swbench.Config{
 			Kind: kind, Impl: swbench.ImplCommute, Threads: th, Ops: *ops,
 			Cells: *cells, Bins: *bins, ZipfS: *zipf, ReadEvery: *reads, Seed: *seed,
-			NewDriver:     swbench.HTTPDriver(base, *batch, nil),
+			NewDriver:     swbench.HTTPDriver(base, *batch, nil, swbench.HTTPRetryBudget(*budget)),
 			RecordLatency: true,
 		}
 		results, mean, ci, err := swbench.Measure(c, *reps)

@@ -1,0 +1,338 @@
+// Package faultnet injects deterministic transport and server faults
+// for chaos-testing the coupd write path.
+//
+// The core is Transport, an http.RoundTripper wrapper that flips a
+// seeded coin per request and injects one of the classic network
+// failure modes — each chosen to exercise a distinct branch of the
+// client's retry classifier and the server's exactly-once dedup:
+//
+//	DropBeforeSend  request never delivered; server saw nothing
+//	DropResponse    request delivered and applied; the ack is lost —
+//	                the canonical duplicate-generating fault
+//	Reset           delivered, then the connection dies mid-response
+//	Delay           delivered after injected latency (timeout food)
+//	TruncateBody    delivered; the response body arrives half-cut
+//	Inject500       never delivered; a synthesized 500 comes back
+//
+// Seeding makes a run reproducible: the same seed over the same
+// (single-goroutine) request sequence injects the same faults. Under
+// concurrent load the draw order follows request arrival order, so a
+// seed pins the fault *mix* exactly and the fault *placement*
+// statistically; tests that need exact placement use Schedule, which
+// overrides the coin with a per-request fault queue.
+//
+// The server half: PanicN, PanicEvery, and StallEvery build hook
+// functions for coupd's WithApplyHook/WithReduceHook options, injecting
+// process-internal faults (poisoned batches, GC-pause-shaped stalls) at
+// the moments the exactly-once contract must survive them.
+package faultnet
+
+import (
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Fault enumerates the injectable transport faults.
+type Fault int
+
+const (
+	None Fault = iota
+	DropBeforeSend
+	DropResponse
+	Reset
+	Delay
+	TruncateBody
+	Inject500
+
+	numFaults
+)
+
+// String names the fault for stats and test output.
+func (f Fault) String() string {
+	switch f {
+	case None:
+		return "none"
+	case DropBeforeSend:
+		return "drop-before-send"
+	case DropResponse:
+		return "drop-response"
+	case Reset:
+		return "reset"
+	case Delay:
+		return "delay"
+	case TruncateBody:
+		return "truncate-body"
+	case Inject500:
+		return "inject-500"
+	}
+	return fmt.Sprintf("fault(%d)", int(f))
+}
+
+// Delivered reports whether a request hit by this fault still reached
+// the server — the property chaos equivalence accounting cares about:
+// delivered faults can double-send, undelivered ones only under-send.
+func (f Fault) Delivered() bool {
+	switch f {
+	case None, DropResponse, Reset, Delay, TruncateBody:
+		return true
+	}
+	return false
+}
+
+// Transport is the chaos RoundTripper. Build with New; wrap it into an
+// http.Client via Client or by hand. Safe for concurrent use.
+type Transport struct {
+	inner  http.RoundTripper
+	delay  time.Duration // injected latency for Delay faults
+	filter func(*http.Request) bool
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	rate  float64 // per-request probability of injecting any fault
+	mix   []Fault // faults eligible for random injection
+	sched []Fault // per-request override queue (Schedule)
+
+	counts [numFaults]atomic.Int64
+	total  atomic.Int64
+}
+
+// Option configures New.
+type Option func(*Transport)
+
+// WithInner sets the wrapped RoundTripper (default
+// http.DefaultTransport).
+func WithInner(rt http.RoundTripper) Option {
+	return func(t *Transport) { t.inner = rt }
+}
+
+// WithRate sets the per-request fault probability (default 0.2).
+func WithRate(p float64) Option {
+	return func(t *Transport) { t.rate = p }
+}
+
+// WithFaults restricts random injection to the given faults (default:
+// every fault, uniformly).
+func WithFaults(fs ...Fault) Option {
+	return func(t *Transport) { t.mix = fs }
+}
+
+// WithDelay sets the latency a Delay fault injects (default 2ms).
+func WithDelay(d time.Duration) Option {
+	return func(t *Transport) { t.delay = d }
+}
+
+// WithFilter restricts injection to requests fn accepts; the rest pass
+// through untouched and uncounted. The chaos suite uses it to storm the
+// write path while its snapshot reads (the accounting instrument) stay
+// clean.
+func WithFilter(fn func(*http.Request) bool) Option {
+	return func(t *Transport) { t.filter = fn }
+}
+
+// WritesOnly is a WithFilter predicate accepting only mutating methods.
+func WritesOnly(req *http.Request) bool {
+	switch req.Method {
+	case http.MethodPost, http.MethodPut, http.MethodPatch, http.MethodDelete:
+		return true
+	}
+	return false
+}
+
+// New builds a Transport seeded with seed.
+func New(seed uint64, opts ...Option) *Transport {
+	t := &Transport{
+		inner: http.DefaultTransport,
+		rng:   rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15)),
+		rate:  0.2,
+		delay: 2 * time.Millisecond,
+		mix: []Fault{DropBeforeSend, DropResponse, Reset, Delay,
+			TruncateBody, Inject500},
+	}
+	for _, opt := range opts {
+		if opt != nil {
+			opt(t)
+		}
+	}
+	return t
+}
+
+// Client wraps t into an http.Client.
+func (t *Transport) Client() *http.Client {
+	return &http.Client{Transport: t}
+}
+
+// Schedule queues faults to inject on the next len(fs) requests, in
+// order, bypassing the random coin (use None to force a clean pass).
+// Deterministic by construction — for unit tests that need a fault on
+// exactly the nth request.
+func (t *Transport) Schedule(fs ...Fault) {
+	t.mu.Lock()
+	t.sched = append(t.sched, fs...)
+	t.mu.Unlock()
+}
+
+// Requests returns how many requests passed through the transport.
+func (t *Transport) Requests() int64 { return t.total.Load() }
+
+// Injected returns how many requests had a fault injected.
+func (t *Transport) Injected() int64 {
+	var n int64
+	for f := None + 1; f < numFaults; f++ {
+		n += t.counts[f].Load()
+	}
+	return n
+}
+
+// Count returns how many times fault f was injected.
+func (t *Transport) Count(f Fault) int64 { return t.counts[f].Load() }
+
+// Stats renders the per-fault injection counts, for test logs.
+func (t *Transport) Stats() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d requests, %d faults", t.Requests(), t.Injected())
+	for f := None + 1; f < numFaults; f++ {
+		if n := t.counts[f].Load(); n > 0 {
+			fmt.Fprintf(&b, ", %s=%d", f, n)
+		}
+	}
+	return b.String()
+}
+
+// draw picks the fault for one request: the scheduled override if one
+// is queued, otherwise the seeded coin.
+func (t *Transport) draw() Fault {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.sched) > 0 {
+		f := t.sched[0]
+		t.sched = t.sched[1:]
+		return f
+	}
+	if len(t.mix) == 0 || t.rng.Float64() >= t.rate {
+		return None
+	}
+	return t.mix[t.rng.IntN(len(t.mix))]
+}
+
+// RoundTrip implements http.RoundTripper. Per the RoundTripper
+// contract, the request body is closed on every path, delivered or not.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if t.filter != nil && !t.filter(req) {
+		return t.inner.RoundTrip(req)
+	}
+	t.total.Add(1)
+	f := t.draw()
+	t.counts[f].Add(1)
+	switch f {
+	case None:
+		return t.inner.RoundTrip(req)
+	case DropBeforeSend:
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		return nil, fmt.Errorf("faultnet: %s: connection refused (injected)", f)
+	case Inject500:
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		return synth500(req), nil
+	case Delay:
+		timer := time.NewTimer(t.delay)
+		select {
+		case <-timer.C:
+		case <-req.Context().Done():
+			timer.Stop()
+			if req.Body != nil {
+				req.Body.Close()
+			}
+			return nil, req.Context().Err()
+		}
+		return t.inner.RoundTrip(req)
+	case DropResponse, Reset:
+		resp, err := t.inner.RoundTrip(req)
+		if err != nil {
+			// The real transport failed underneath the injected fault;
+			// either way the caller sees a retryable transport error.
+			return nil, err
+		}
+		// Drain so the underlying connection can be reused, then lose
+		// the response: to the caller this is indistinguishable from an
+		// ack eaten by the network after the server applied the batch.
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if f == Reset {
+			return nil, fmt.Errorf("faultnet: %s: connection reset by peer (injected)", f)
+		}
+		return nil, fmt.Errorf("faultnet: %s: EOF (injected)", f)
+	case TruncateBody:
+		resp, err := t.inner.RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		data, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil {
+			return nil, rerr
+		}
+		cut := len(data) / 2
+		resp.Body = io.NopCloser(strings.NewReader(string(data[:cut])))
+		resp.ContentLength = int64(cut)
+		return resp, nil
+	}
+	panic(fmt.Sprintf("faultnet: unhandled fault %v", f))
+}
+
+// synth500 fabricates a 500 response that never touched the server.
+func synth500(req *http.Request) *http.Response {
+	body := `{"error":"faultnet: injected internal error"}`
+	return &http.Response{
+		Status:        "500 Internal Server Error",
+		StatusCode:    http.StatusInternalServerError,
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        http.Header{"Content-Type": []string{"application/json"}},
+		Body:          io.NopCloser(strings.NewReader(body)),
+		ContentLength: int64(len(body)),
+		Request:       req,
+	}
+}
+
+// PanicN returns a hook (for coupd.WithApplyHook/WithReduceHook) that
+// panics on its first n invocations, then passes forever — the poisoned
+// batch that must become a recovered 500, not a dead process.
+func PanicN(n int64) func() {
+	var calls atomic.Int64
+	return func() {
+		if calls.Add(1) <= n {
+			panic(fmt.Sprintf("faultnet: injected panic (%d of %d)", calls.Load(), n))
+		}
+	}
+}
+
+// PanicEvery returns a hook that panics on every nth invocation.
+func PanicEvery(n int64) func() {
+	var calls atomic.Int64
+	return func() {
+		if c := calls.Add(1); c%n == 0 {
+			panic(fmt.Sprintf("faultnet: injected panic (call %d)", c))
+		}
+	}
+}
+
+// StallEvery returns a hook that sleeps d on every nth invocation — a
+// GC-pause-shaped stall in the middle of the apply or reduce path.
+func StallEvery(n int64, d time.Duration) func() {
+	var calls atomic.Int64
+	return func() {
+		if calls.Add(1)%n == 0 {
+			time.Sleep(d)
+		}
+	}
+}

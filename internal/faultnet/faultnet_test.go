@@ -1,0 +1,159 @@
+package faultnet
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// countingHandler records deliveries and answers a fixed JSON body.
+func countingHandler(delivered *int) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		*delivered++
+		w.Header().Set("Content-Type", "application/json")
+		io.WriteString(w, `{"applied":64}`)
+	})
+}
+
+// TestScheduledFaults drives each fault through a real server and
+// checks the caller-visible outcome and whether the request was
+// delivered — the two properties the chaos accounting rests on.
+func TestScheduledFaults(t *testing.T) {
+	delivered := 0
+	srv := httptest.NewServer(countingHandler(&delivered))
+	defer srv.Close()
+
+	ft := New(1, WithInner(srv.Client().Transport))
+	client := ft.Client()
+	post := func() (*http.Response, error) {
+		return client.Post(srv.URL, "application/json", strings.NewReader(`{}`))
+	}
+
+	cases := []struct {
+		fault     Fault
+		wantErr   bool
+		delivered bool
+	}{
+		{None, false, true},
+		{DropBeforeSend, true, false},
+		{DropResponse, true, true},
+		{Reset, true, true},
+		{Delay, false, true},
+		{TruncateBody, false, true},
+		{Inject500, false, false},
+	}
+	for _, tc := range cases {
+		before := delivered
+		ft.Schedule(tc.fault)
+		resp, err := post()
+		if (err != nil) != tc.wantErr {
+			t.Fatalf("%v: err=%v, wantErr=%v", tc.fault, err, tc.wantErr)
+		}
+		gotDelivered := delivered > before
+		if gotDelivered != tc.delivered {
+			t.Errorf("%v: delivered=%v, want %v", tc.fault, gotDelivered, tc.delivered)
+		}
+		if tc.fault.Delivered() != tc.delivered {
+			t.Errorf("%v: Delivered()=%v disagrees with observed %v", tc.fault, tc.fault.Delivered(), tc.delivered)
+		}
+		if err != nil {
+			continue
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		switch tc.fault {
+		case Inject500:
+			if resp.StatusCode != http.StatusInternalServerError {
+				t.Errorf("Inject500: status %d, want 500", resp.StatusCode)
+			}
+		case TruncateBody:
+			if len(body) >= len(`{"applied":64}`) {
+				t.Errorf("TruncateBody: body %q not truncated", body)
+			}
+		default:
+			if string(body) != `{"applied":64}` {
+				t.Errorf("%v: body %q, want full ack", tc.fault, body)
+			}
+		}
+	}
+	if got := ft.Requests(); got != int64(len(cases)) {
+		t.Errorf("Requests()=%d, want %d", got, len(cases))
+	}
+	// None is not an injection.
+	if got := ft.Injected(); got != int64(len(cases)-1) {
+		t.Errorf("Injected()=%d, want %d", got, len(cases)-1)
+	}
+}
+
+// TestSeededDeterminism: the same seed over the same single-goroutine
+// request sequence draws the same faults.
+func TestSeededDeterminism(t *testing.T) {
+	draws := func(seed uint64) []Fault {
+		ft := New(seed, WithRate(0.5))
+		out := make([]Fault, 100)
+		for i := range out {
+			out[i] = ft.draw()
+		}
+		return out
+	}
+	a, b := draws(42), draws(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d: seed 42 gave %v then %v", i, a[i], b[i])
+		}
+	}
+	c := draws(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("seeds 42 and 43 drew identical fault sequences")
+	}
+	// The rate is honored within statistical slack.
+	inj := 0
+	for _, f := range a {
+		if f != None {
+			inj++
+		}
+	}
+	if inj < 30 || inj > 70 {
+		t.Errorf("rate 0.5 injected %d/100 faults", inj)
+	}
+}
+
+func TestHooks(t *testing.T) {
+	mustPanic := func(fn func()) (panicked bool) {
+		defer func() { panicked = recover() != nil }()
+		fn()
+		return
+	}
+	h := PanicN(2)
+	if !mustPanic(h) || !mustPanic(h) {
+		t.Error("PanicN(2): first two calls must panic")
+	}
+	if mustPanic(h) {
+		t.Error("PanicN(2): third call must pass")
+	}
+	e := PanicEvery(3)
+	got := []bool{mustPanic(e), mustPanic(e), mustPanic(e), mustPanic(e)}
+	want := []bool{false, false, true, false}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Errorf("PanicEvery(3) call %d: panicked=%v, want %v", i+1, got[i], want[i])
+		}
+	}
+	s := StallEvery(1, 5*time.Millisecond)
+	t0 := time.Now()
+	s()
+	if time.Since(t0) < 5*time.Millisecond {
+		t.Error("StallEvery(1) did not stall")
+	}
+}

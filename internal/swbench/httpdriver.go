@@ -1,17 +1,46 @@
 package swbench
 
 import (
-	"bytes"
+	"context"
+	cryptorand "crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/pkg/coupd"
 )
+
+// httpDriverSeq distinguishes driver instances that share a process (a
+// Measure run builds one driver per rep against the same server); it
+// joins a random nonce in the dedup client IDs so seqs never collide.
+var httpDriverSeq atomic.Uint64
+
+// HTTPOption tunes the HTTP driver beyond its required arguments.
+type HTTPOption func(*httpConfig)
+
+type httpConfig struct {
+	budget time.Duration
+	clOpts []coupd.ClientOption
+}
+
+// HTTPRetryBudget caps how long one batch keeps retrying before the
+// worker gives up and fails the run (default 30s — far above any
+// transient saturation or injected-fault stretch, far below a hung rig).
+func HTTPRetryBudget(d time.Duration) HTTPOption {
+	return func(c *httpConfig) { c.budget = d }
+}
+
+// HTTPClientOptions forwards extra options to the underlying
+// coupd.Client (backoff shape, jitter source — chaos tests pin these).
+func HTTPClientOptions(opts ...coupd.ClientOption) HTTPOption {
+	return func(c *httpConfig) { c.clOpts = append(c.clOpts, opts...) }
+}
 
 // HTTPDriver returns a DriverMaker that ships the traffic to a coupd
 // server at baseURL as batched POST /v1/batch requests of batch records
@@ -21,15 +50,27 @@ import (
 // run, so repeated runs against one server (and its accumulated state)
 // still validate exactly.
 //
+// Every worker writes through its own coupd dedup session (a unique
+// client ID plus a per-batch seq), so delivery is exactly once: the
+// coupd.Client underneath retries transport errors, truncated
+// responses, 5xx, and 429 saturation with capped full-jitter
+// exponential backoff (429s floored by the server's Retry-After-Ms
+// hint), and a retried batch that already landed is answered from the
+// server's session table instead of double-applying. Saturation
+// throttles the closed loop; faults never lose or duplicate updates.
+//
 // A nil client gets a transport sized for one keep-alive connection per
-// worker. On 429 the worker backs off (jittered milliseconds, the
-// header's whole-second Retry-After being a ceiling) and retries the
-// same batch, so saturation throttles the closed loop instead of losing
-// updates.
-func HTTPDriver(baseURL string, batch int, client *http.Client) DriverMaker {
+// worker.
+func HTTPDriver(baseURL string, batch int, client *http.Client, opts ...HTTPOption) DriverMaker {
 	return func(c Config, cells int) (Driver, error) {
 		if batch < 1 {
 			return nil, fmt.Errorf("swbench: http driver needs batch >= 1, got %d", batch)
+		}
+		cfg := httpConfig{budget: 30 * time.Second}
+		for _, opt := range opts {
+			if opt != nil {
+				opt(&cfg)
+			}
 		}
 		if client == nil {
 			client = &http.Client{
@@ -40,9 +81,24 @@ func HTTPDriver(baseURL string, batch int, client *http.Client) DriverMaker {
 				Timeout: 30 * time.Second,
 			}
 		}
+		// Client IDs must be unique across every driver that ever talks to
+		// this server — a reused ID would resume a stale session at seq 1
+		// and have its fresh batches eaten as duplicates. Random nonce plus
+		// an in-process instance counter covers both cross-process and
+		// same-process (Measure reps) collisions.
+		var nonce [8]byte
+		if _, err := cryptorand.Read(nonce[:]); err != nil {
+			return nil, fmt.Errorf("swbench: client nonce: %w", err)
+		}
+		clOpts := append([]coupd.ClientOption{
+			coupd.WithHTTPClient(client),
+			coupd.WithRetryBudget(cfg.budget),
+		}, cfg.clOpts...)
 		d := &httpDriver{
 			base:   strings.TrimRight(baseURL, "/"),
 			client: client,
+			cl:     coupd.NewClient(strings.TrimRight(baseURL, "/"), clOpts...),
+			idBase: fmt.Sprintf("swb-%s-%d", hex.EncodeToString(nonce[:]), httpDriverSeq.Add(1)),
 			batch:  batch,
 			kind:   c.Kind,
 			bins:   cells,
@@ -68,6 +124,8 @@ func HTTPDriver(baseURL string, batch int, client *http.Client) DriverMaker {
 type httpDriver struct {
 	base      string
 	client    *http.Client
+	cl        *coupd.Client
+	idBase    string
 	batch     int
 	kind      Kind
 	names     []string
@@ -76,7 +134,10 @@ type httpDriver struct {
 }
 
 func (d *httpDriver) Worker(id int) Worker {
-	w := &httpWorker{d: d}
+	w := &httpWorker{
+		d:    d,
+		sess: d.cl.Session(d.idBase + "-w" + strconv.Itoa(id)),
+	}
 	w.buf = make([]coupd.Update, 0, d.batch)
 	return w
 }
@@ -135,11 +196,11 @@ func (d *httpDriver) snapshot(name string) (coupd.Snapshot, int, error) {
 }
 
 // httpWorker buffers one goroutine's updates client-side — its U-state
-// buffer — and flushes full batches over its keep-alive connection.
+// buffer — and flushes full batches through its dedup session.
 type httpWorker struct {
 	d    *httpDriver
+	sess *coupd.Session
 	buf  []coupd.Update
-	body bytes.Buffer
 	err  error
 }
 
@@ -196,53 +257,23 @@ func (w *httpWorker) Flush() error {
 	return w.err
 }
 
-// flushBatch POSTs the buffered records, retrying on 429 with a small
-// backoff. It records the first hard failure in w.err and drops the
-// batch (the run is already invalid at that point).
+// flushBatch delivers the buffered records exactly once through the
+// worker's dedup session. The session's Send owns every retry concern —
+// transport faults, truncated acks, 429 backoff with jitter — so a
+// returned error is final (budget exhausted or the server terminally
+// rejected the batch); it is recorded in w.err and the batch dropped,
+// the run being already invalid at that point.
 func (w *httpWorker) flushBatch() {
 	if len(w.buf) == 0 || w.err != nil {
 		return
 	}
-	w.body.Reset()
-	if err := json.NewEncoder(&w.body).Encode(coupd.BatchRequest{Updates: w.buf}); err != nil {
-		w.err = err
-		return
+	res, err := w.sess.Send(context.Background(), w.buf)
+	if err != nil {
+		w.err = fmt.Errorf("swbench: batch: %w", err)
+	} else if res.Applied != len(w.buf) {
+		w.err = fmt.Errorf("swbench: batch applied %d of %d records", res.Applied, len(w.buf))
 	}
-	payload := w.body.Bytes()
-	backoff := time.Millisecond
-	for attempt := 0; ; attempt++ {
-		resp, err := w.d.client.Post(w.d.base+"/v1/batch", "application/json", bytes.NewReader(payload))
-		if err != nil {
-			w.err = fmt.Errorf("swbench: batch: %w", err)
-			return
-		}
-		status := resp.StatusCode
-		if status == http.StatusOK {
-			var br coupd.BatchResponse
-			err := json.NewDecoder(resp.Body).Decode(&br)
-			drainClose(resp.Body)
-			if err != nil {
-				w.err = fmt.Errorf("swbench: batch response: %w", err)
-			} else if br.Applied != len(w.buf) {
-				w.err = fmt.Errorf("swbench: batch applied %d of %d records", br.Applied, len(w.buf))
-			}
-			w.buf = w.buf[:0]
-			return
-		}
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		drainClose(resp.Body)
-		if status != http.StatusTooManyRequests || attempt >= 10_000 {
-			w.err = fmt.Errorf("swbench: batch: HTTP %d: %s", status, bytes.TrimSpace(msg))
-			return
-		}
-		// Saturated: hold the batch in our buffer and retry. The server's
-		// Retry-After is whole seconds; a closed-loop rig recovers much
-		// sooner, so back off in milliseconds up to that ceiling.
-		time.Sleep(backoff)
-		if backoff < 32*time.Millisecond {
-			backoff *= 2
-		}
-	}
+	w.buf = w.buf[:0]
 }
 
 func drainClose(body io.ReadCloser) {

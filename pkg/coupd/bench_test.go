@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"testing"
 )
 
@@ -48,6 +49,61 @@ func BenchmarkCoupdBatch(b *testing.B) {
 	b.ReportMetric(float64(len(req.Updates)*b.N)/b.Elapsed().Seconds(), "updates/s")
 	if got := s.updates.Value(); got != int64(len(req.Updates)*b.N) {
 		b.Fatalf("server reduced %d updates, applied %d", got, len(req.Updates)*b.N)
+	}
+}
+
+// BenchmarkCoupdBatchSequenced is BenchmarkCoupdBatch with the
+// exactly-once plane on: the same 256-record mixed batch, now carrying
+// client+seq through the dedup session table and the validate-then-apply
+// double pass. The delta against BenchmarkCoupdBatch prices the
+// exactly-once upgrade; tracked in BENCH_baseline.json like its bare
+// sibling. The seq is patched into the pre-marshaled body in place, so
+// the loop measures the server, not the encoder.
+func BenchmarkCoupdBatchSequenced(b *testing.B) {
+	s, err := New(WithMaxInFlight(64))
+	if err != nil {
+		b.Fatal(err)
+	}
+	req := BatchRequest{Client: "bench", Seq: 100_000_000_000}
+	for i := 0; i < 64; i++ {
+		req.Updates = append(req.Updates,
+			Update{Name: "hits", Kind: "counter", Op: "inc"},
+			Update{Name: "lat", Kind: "hist", Op: "inc", Args: []int64{int64(i % 512)}, Bins: 512},
+			Update{Name: "span", Kind: "minmax", Op: "observe", Args: []int64{int64(i)}},
+			Update{Name: "refs", Kind: "refcount", Op: "inc"},
+		)
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// The placeholder seq is 12 digits; successive seqs stay 12 digits, so
+	// each iteration overwrites it in place (no re-marshal, no alloc).
+	pos := bytes.Index(body, []byte("100000000000"))
+	if pos < 0 {
+		b.Fatal("seq placeholder not found in marshaled body")
+	}
+	var seqBuf [12]byte
+	rd := bytes.NewReader(body)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(body[pos:pos+12], strconv.AppendInt(seqBuf[:0], 100_000_000_001+int64(i), 10))
+		rd.Reset(body)
+		r := httptest.NewRequest("POST", "/v1/batch", rd)
+		w := httptest.NewRecorder()
+		s.ServeHTTP(w, r)
+		if w.Code != http.StatusOK {
+			b.Fatalf("HTTP %d: %s", w.Code, w.Body)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(len(req.Updates)*b.N)/b.Elapsed().Seconds(), "updates/s")
+	if got := s.updates.Value(); got != int64(len(req.Updates)*b.N) {
+		b.Fatalf("server reduced %d updates, applied %d", got, len(req.Updates)*b.N)
+	}
+	if got := s.sessions.dedupHits.Value(); got != 0 {
+		b.Fatalf("%d dedup hits in a fresh-seq benchmark (seq patching broken)", got)
 	}
 }
 

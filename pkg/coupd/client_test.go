@@ -1,0 +1,195 @@
+package coupd
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/faultnet"
+)
+
+// noJitter pins the backoff to its upper bound's floor: rand(0,n) -> 0,
+// so sleeps collapse to the Retry-After-Ms floor (or zero).
+func noJitter(int64) int64 { return 0 }
+
+func chaosClient(ts *httptest.Server, ft *faultnet.Transport, opts ...ClientOption) *Client {
+	base := []ClientOption{
+		WithHTTPClient(ft.Client()),
+		WithJitterSource(noJitter),
+		WithBackoff(time.Millisecond, 4*time.Millisecond),
+		WithRetryBudget(10 * time.Second),
+	}
+	return NewClient(ts.URL, append(base, opts...)...)
+}
+
+// TestClientRetriesLostAck pins the canonical duplicate-generating
+// fault: the batch applies, the ack is lost, the retry is answered from
+// the server's dedup session — applied exactly once.
+func TestClientRetriesLostAck(t *testing.T) {
+	_, ts := newTestServer(t)
+	ft := faultnet.New(1, faultnet.WithInner(http.DefaultTransport), faultnet.WithRate(0))
+	sess := chaosClient(ts, ft).Session("lost-ack")
+
+	ft.Schedule(faultnet.DropResponse)
+	res, err := sess.Send(context.Background(), []Update{inc("la"), inc("la")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Attempts != 2 || !res.Deduped || res.Applied != 2 || res.Seq != 1 {
+		t.Fatalf("lost-ack send: %+v, want 2 attempts, deduped, applied 2, seq 1", res)
+	}
+	if v := counterValue(t, ts.URL, "la"); v != 2 {
+		t.Errorf("counter = %d, want 2 (no double apply)", v)
+	}
+}
+
+// TestClientRetriesUndelivered: faults where the server never saw the
+// batch (connection refused, synthesized 500) retry to a first-time
+// apply, not a dedup answer.
+func TestClientRetriesUndelivered(t *testing.T) {
+	_, ts := newTestServer(t)
+	ft := faultnet.New(1, faultnet.WithInner(http.DefaultTransport), faultnet.WithRate(0))
+	sess := chaosClient(ts, ft).Session("undelivered")
+
+	ft.Schedule(faultnet.DropBeforeSend, faultnet.Inject500)
+	res, err := sess.Send(context.Background(), []Update{inc("ud")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Attempts != 3 || res.Deduped {
+		t.Fatalf("send through 2 undelivered faults: %+v, want 3 attempts, not deduped", res)
+	}
+	if v := counterValue(t, ts.URL, "ud"); v != 1 {
+		t.Errorf("counter = %d, want 1", v)
+	}
+}
+
+// TestClientRetriesTruncatedAck: a 200 with a half-cut body is not an
+// ack; the retry resolves it through the dedup session.
+func TestClientRetriesTruncatedAck(t *testing.T) {
+	_, ts := newTestServer(t)
+	ft := faultnet.New(1, faultnet.WithInner(http.DefaultTransport), faultnet.WithRate(0))
+	sess := chaosClient(ts, ft).Session("truncated")
+
+	ft.Schedule(faultnet.TruncateBody)
+	res, err := sess.Send(context.Background(), []Update{inc("tr")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Attempts != 2 || !res.Deduped || res.Applied != 1 {
+		t.Fatalf("truncated-ack send: %+v, want 2 attempts, deduped, applied 1", res)
+	}
+	if v := counterValue(t, ts.URL, "tr"); v != 1 {
+		t.Errorf("counter = %d, want 1", v)
+	}
+}
+
+// TestClient429HonorsRetryAfterMs pins the backpressure hint: with the
+// jitter pinned to zero, the retry sleep is exactly the server's
+// Retry-After-Ms floor.
+func TestClient429HonorsRetryAfterMs(t *testing.T) {
+	var calls int
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls++
+		if calls == 1 {
+			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Retry-After-Ms", "30")
+			w.WriteHeader(http.StatusTooManyRequests)
+			w.Write([]byte(`{"error":"saturated"}`))
+			return
+		}
+		w.Write([]byte(`{"applied":1}`))
+	}))
+	defer srv.Close()
+
+	cl := NewClient(srv.URL, WithJitterSource(noJitter), WithBackoff(time.Millisecond, 4*time.Millisecond))
+	t0 := time.Now()
+	res, err := cl.Session("ra").Send(context.Background(), []Update{inc("x")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Attempts != 2 {
+		t.Fatalf("attempts = %d, want 2", res.Attempts)
+	}
+	// Jitter is pinned to 0, so the only sleep is the 30ms floor; the
+	// whole-second Retry-After must NOT be the floor used.
+	if elapsed := time.Since(t0); elapsed < 30*time.Millisecond || elapsed > 900*time.Millisecond {
+		t.Errorf("429 retry took %v, want ~30ms (Retry-After-Ms, not the 1s Retry-After)", elapsed)
+	}
+}
+
+// TestClientTerminalRejections: 400, 409, and 503 answered definitively
+// are not retried and surface as RemoteError.
+func TestClientTerminalRejections(t *testing.T) {
+	for _, status := range []int{http.StatusBadRequest, http.StatusConflict, http.StatusServiceUnavailable} {
+		var calls int
+		srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			calls++
+			w.WriteHeader(status)
+			w.Write([]byte(`{"error":"no"}`))
+		}))
+		cl := NewClient(srv.URL, WithJitterSource(noJitter))
+		_, err := cl.Session("term").Send(context.Background(), []Update{inc("x")})
+		var re *RemoteError
+		if !errors.As(err, &re) || re.Status != status {
+			t.Errorf("status %d: err %v, want RemoteError with that status", status, err)
+		}
+		if calls != 1 {
+			t.Errorf("status %d: %d requests, want 1 (no retry)", status, calls)
+		}
+		srv.Close()
+	}
+}
+
+// TestClientSeqReuseAfterRejection: a terminal rejection does not burn
+// the seq — the corrected batch reuses it, keeping the server's dedup
+// window aligned with what actually applied.
+func TestClientSeqReuseAfterRejection(t *testing.T) {
+	_, ts := newTestServer(t)
+	sess := NewClient(ts.URL).Session("seq-reuse")
+
+	bad := []Update{{Name: "sr", Kind: "counter", Op: "no-such-op"}}
+	if _, err := sess.Send(context.Background(), bad); err == nil {
+		t.Fatal("invalid batch accepted")
+	}
+	res, err := sess.Send(context.Background(), []Update{inc("sr")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Seq != 1 {
+		t.Fatalf("corrected batch landed at seq %d, want the reused seq 1", res.Seq)
+	}
+	res, err = sess.Send(context.Background(), []Update{inc("sr")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Seq != 2 {
+		t.Fatalf("next batch at seq %d, want 2", res.Seq)
+	}
+	if v := counterValue(t, ts.URL, "sr"); v != 2 {
+		t.Errorf("counter = %d, want 2", v)
+	}
+}
+
+// TestClientBudgetExhaustion: a transport that never delivers makes
+// Send fail once the retry budget burns down, with the last transport
+// error in the message.
+func TestClientBudgetExhaustion(t *testing.T) {
+	_, ts := newTestServer(t)
+	ft := faultnet.New(1, faultnet.WithInner(http.DefaultTransport),
+		faultnet.WithRate(1), faultnet.WithFaults(faultnet.DropBeforeSend))
+	cl := chaosClient(ts, ft, WithRetryBudget(50*time.Millisecond))
+	_, err := cl.Session("budget").Send(context.Background(), []Update{inc("bx")})
+	if err == nil {
+		t.Fatal("Send succeeded through a 100% drop transport")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("err = %v, want a deadline-exceeded wrap", err)
+	}
+	if v := counterValue(t, ts.URL, "bx"); v != 0 {
+		t.Errorf("counter = %d, want 0", v)
+	}
+}

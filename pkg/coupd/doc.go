@@ -47,19 +47,50 @@
 // Structures are created on first update (create-on-first-update, like a
 // metrics library's GetOrRegister); a later update naming the same
 // structure with a different kind is rejected with ErrKindMismatch.
-// Batches apply in order and are not atomic: on the first bad record the
-// server stops, reports the count applied so far, and returns 400 — the
+// Batches apply in order. An unsequenced batch (no client field) is not
+// atomic: on the first bad record the server stops, reports the count
+// applied so far, and returns 400. A sequenced batch is validated before
+// anything applies, so a rejected batch applies nothing (see below). The
 // typed sentinels in errors.go name every failure class.
+//
+// # Exactly-once replay
+//
+// Commutative is not idempotent: a counter increment replayed by a
+// well-meaning retry double-counts. The wire format therefore carries an
+// optional exactly-once plane — two BatchRequest fields:
+//
+//	client   string   stable writer identity opening a dedup session
+//	seq      uint64   1-based, strictly in-order per client; a retry
+//	                  resends the SAME seq
+//
+// A batch carrying a client id is sequenced. The server keeps a bounded
+// session table (WithDedupSessions: LRU-evicted beyond a max, TTL-evicted
+// when idle) holding, per client, the highest seq applied, a 64-deep
+// sliding ack window, and the Applied answer for each windowed seq. A
+// re-POSTed seq inside the window is answered from the table — original
+// Applied count, Deduped=true, nothing re-applied; a seq below the window
+// gets 409 ErrStaleSeq. Sequenced batches are validate-then-apply: every
+// record is checked (and its cell created) in a dry pass first, so a 400
+// rejection applies nothing and the client may correct and resend under
+// the same seq. The Client type implements the other end — per-session
+// monotonic seqs, full-jitter retry on transport faults, 5xx and
+// truncated acks — and internal/faultnet is the seeded chaos transport
+// the contract is proven against.
 //
 // # Backpressure and shutdown
 //
 // At most MaxInFlight batches are processed concurrently (including
-// request-body decode); beyond that the server answers 429 with a
-// Retry-After header rather than queueing unboundedly — saturation is
-// pushed back to clients, who hold their batches in their own U-state
-// buffers and retry. Drain flips the server into a draining state (new
-// batches get 503), waits for in-flight batches to land, and leaves
-// snapshots serving, so a shutdown loses no acknowledged update.
+// request-body decode); beyond that the server answers 429 with both a
+// Retry-After header (whole seconds, for generic HTTP clients) and a
+// finer-grained Retry-After-Ms header (milliseconds, RetryAfterMs) that
+// this package's Client honors as a backoff floor — saturation is pushed
+// back to clients, who hold their batches in their own U-state buffers
+// and retry. Drain flips the server into a draining state (new batches
+// get 503), waits for in-flight batches to land, and leaves snapshots
+// serving, so a shutdown loses no acknowledged update. Draining still
+// answers already-acked sequenced replays from the session table, so a
+// retry whose original landed just before the drain reconciles instead
+// of erroring.
 //
 // # Observability
 //

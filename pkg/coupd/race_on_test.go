@@ -1,0 +1,9 @@
+//go:build race
+
+package coupd
+
+// raceEnabled reports that the race detector is instrumenting this
+// build. Under race, sync.Pool deliberately drops a fraction of Puts
+// (to shake out lifetime bugs), so alloc-pinned tests over pooled paths
+// must skip — the instrumentation itself allocates.
+const raceEnabled = true

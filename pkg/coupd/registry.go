@@ -55,6 +55,10 @@ var (
 	// ErrBadUpdate is returned for malformed records: empty or illegal
 	// names, wrong argument count, out-of-range arguments.
 	ErrBadUpdate = errors.New("invalid update")
+	// ErrStaleSeq maps to 409: a sequenced batch's seq has fallen out of
+	// its session's sliding ack window (or the session was evicted), so
+	// the server can no longer tell whether it was applied.
+	ErrStaleSeq = errors.New("stale seq: batch fell out of the dedup window")
 	// ErrSaturated maps to 429: the in-flight batch semaphore is full.
 	ErrSaturated = errors.New("saturated: too many in-flight batches")
 	// ErrDraining maps to 503: the server is shutting down and accepts
@@ -207,6 +211,33 @@ func (g *Registry) Apply(u *Update) error {
 	if err != nil {
 		return err
 	}
+	return ent.apply(u, false)
+}
+
+// validate resolves one update — creating its structure on first touch,
+// exactly like Apply would — and runs every check Apply runs, without
+// mutating any value. It returns the resolved entry so a following wet
+// apply can skip the lookup. Because the checks are deterministic in
+// (entry, record) and a structure's kind never changes once created, a
+// wet apply over a record validate accepted cannot fail.
+func (g *Registry) validate(u *Update) (*entry, error) {
+	ent, err := g.lookup(u)
+	if err != nil {
+		return nil, err
+	}
+	if err := ent.apply(u, true); err != nil {
+		return nil, err
+	}
+	return ent, nil
+}
+
+// apply checks one update against this entry and, unless dry, lands it.
+// The dry pass is the validate half of the sequenced batches'
+// validate-then-apply contract: every check runs, nothing mutates.
+//
+//coup:hotpath
+func (e *entry) apply(u *Update, dry bool) error {
+	ent := e
 	switch ent.kind {
 	case KindCounter:
 		switch u.Op {
@@ -214,17 +245,23 @@ func (g *Registry) Apply(u *Update) error {
 			if err := args(u, 0); err != nil {
 				return err
 			}
-			ent.c.Inc()
+			if !dry {
+				ent.c.Inc()
+			}
 		case "dec":
 			if err := args(u, 0); err != nil {
 				return err
 			}
-			ent.c.Dec()
+			if !dry {
+				ent.c.Dec()
+			}
 		case "add":
 			if err := args(u, 1); err != nil {
 				return err
 			}
-			ent.c.Add(u.Args[0])
+			if !dry {
+				ent.c.Add(u.Args[0])
+			}
 		default:
 			return fmt.Errorf("coupd: %w %q for counter %q (have: %s)", ErrUnknownOp, u.Op, u.Name, opsFor(KindCounter))
 		}
@@ -250,7 +287,9 @@ func (g *Registry) Apply(u *Update) error {
 		if delta < 0 {
 			return fmt.Errorf("coupd: %w: hist %q negative delta %d", ErrBadUpdate, u.Name, delta)
 		}
-		ent.h.Add(int(bin), uint64(delta))
+		if !dry {
+			ent.h.Add(int(bin), uint64(delta))
+		}
 	case KindMinMax:
 		if u.Op != "observe" {
 			return fmt.Errorf("coupd: %w %q for minmax %q (have: %s)", ErrUnknownOp, u.Op, u.Name, opsFor(KindMinMax))
@@ -258,29 +297,39 @@ func (g *Registry) Apply(u *Update) error {
 		if err := args(u, 1); err != nil {
 			return err
 		}
-		ent.m.Observe(u.Args[0])
+		if !dry {
+			ent.m.Observe(u.Args[0])
+		}
 	case KindRefCount:
 		switch u.Op {
 		case "inc":
 			if err := args(u, 0); err != nil {
 				return err
 			}
-			ent.r.Inc()
+			if !dry {
+				ent.r.Inc()
+			}
 		case "dec":
 			if err := args(u, 0); err != nil {
 				return err
 			}
-			ent.r.Dec()
+			if !dry {
+				ent.r.Dec()
+			}
 		case "add":
 			if err := args(u, 1); err != nil {
 				return err
 			}
-			ent.r.Add(u.Args[0])
+			if !dry {
+				ent.r.Add(u.Args[0])
+			}
 		case "escalate":
 			if err := args(u, 0); err != nil {
 				return err
 			}
-			ent.r.Escalate()
+			if !dry {
+				ent.r.Escalate()
+			}
 		default:
 			return fmt.Errorf("coupd: %w %q for refcount %q (have: %s)", ErrUnknownOp, u.Op, u.Name, opsFor(KindRefCount))
 		}

@@ -1,0 +1,325 @@
+package coupd
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+	"testing"
+	"time"
+)
+
+func seqBatch(client string, seq uint64, updates ...Update) BatchRequest {
+	return BatchRequest{Client: client, Seq: seq, Updates: updates}
+}
+
+func inc(name string) Update {
+	return Update{Name: name, Kind: "counter", Op: "inc"}
+}
+
+func counterValue(t *testing.T, url, name string) int64 {
+	t.Helper()
+	var snap Snapshot
+	status := getJSON(t, url+"/v1/snapshot/"+name, &snap)
+	if status == http.StatusNotFound {
+		return 0
+	}
+	if status != http.StatusOK {
+		t.Fatalf("snapshot %s: HTTP %d", name, status)
+	}
+	return snap.Value
+}
+
+// TestSequencedDedupReplay pins the tentpole contract: a re-POSTed
+// sequenced batch is answered with its original Applied and applies
+// nothing the second time.
+func TestSequencedDedupReplay(t *testing.T) {
+	_, ts := newTestServer(t)
+	b := seqBatch("c1", 1, inc("sq"), inc("sq"), inc("sq"))
+
+	resp, out := postBatch(t, ts.URL, b)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first POST: HTTP %d: %s", resp.StatusCode, out)
+	}
+	var br BatchResponse
+	if err := json.Unmarshal(out, &br); err != nil || br.Applied != 3 || br.Deduped {
+		t.Fatalf("first ack %s (err %v), want applied 3, not deduped", out, err)
+	}
+
+	resp, out = postBatch(t, ts.URL, b)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("replayed POST: HTTP %d: %s", resp.StatusCode, out)
+	}
+	if err := json.Unmarshal(out, &br); err != nil || br.Applied != 3 || !br.Deduped {
+		t.Fatalf("replay ack %s (err %v), want applied 3, deduped", out, err)
+	}
+	if v := counterValue(t, ts.URL, "sq"); v != 3 {
+		t.Errorf("counter after replay = %d, want 3 (no double apply)", v)
+	}
+
+	var st Stats
+	getJSON(t, ts.URL+"/v1/stats", &st)
+	if st.Sessions != 1 || st.DedupHits != 1 || st.Replays != 1 {
+		t.Errorf("stats sessions/dedup/replays = %d/%d/%d, want 1/1/1",
+			st.Sessions, st.DedupHits, st.Replays)
+	}
+	if st.Updates != 3 {
+		t.Errorf("stats.Updates = %d, want 3", st.Updates)
+	}
+}
+
+// TestSequencedValidateThenApply pins atomicity: a sequenced batch with
+// a bad record in the middle applies nothing, and the same seq can be
+// retried with the corrected batch.
+func TestSequencedValidateThenApply(t *testing.T) {
+	_, ts := newTestServer(t)
+	bad := seqBatch("c2", 1, inc("vta"),
+		Update{Name: "vta", Kind: "counter", Op: "no-such-op"}, inc("vta"))
+
+	resp, out := postBatch(t, ts.URL, bad)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad batch: HTTP %d: %s", resp.StatusCode, out)
+	}
+	var er ErrorResponse
+	if err := json.Unmarshal(out, &er); err != nil || er.Applied != 0 {
+		t.Fatalf("bad batch body %s (err %v), want applied 0", out, err)
+	}
+	if v := counterValue(t, ts.URL, "vta"); v != 0 {
+		t.Fatalf("counter after rejected batch = %d, want 0 (validate-then-apply)", v)
+	}
+
+	good := seqBatch("c2", 1, inc("vta"), inc("vta"), inc("vta"))
+	resp, out = postBatch(t, ts.URL, good)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("corrected retry of seq 1: HTTP %d: %s", resp.StatusCode, out)
+	}
+	if v := counterValue(t, ts.URL, "vta"); v != 3 {
+		t.Errorf("counter after corrected retry = %d, want 3", v)
+	}
+}
+
+// Contrast case: bare (unsequenced) batches keep the historical
+// partial-application semantics, sequenced ones don't.
+func TestSequencedSeqValidation(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, out := postBatch(t, ts.URL, seqBatch("c3", 0, inc("z")))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("seq 0: HTTP %d: %s, want 400", resp.StatusCode, out)
+	}
+}
+
+func TestSequencedStaleSeq409(t *testing.T) {
+	_, ts := newTestServer(t)
+	for seq := uint64(1); seq <= sessionWindow+1; seq++ {
+		resp, out := postBatch(t, ts.URL, seqBatch("c4", seq, inc("st")))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("seq %d: HTTP %d: %s", seq, resp.StatusCode, out)
+		}
+	}
+	resp, out := postBatch(t, ts.URL, seqBatch("c4", 1, inc("st")))
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("stale seq 1: HTTP %d: %s, want 409", resp.StatusCode, out)
+	}
+	if v := counterValue(t, ts.URL, "st"); v != sessionWindow+1 {
+		t.Errorf("counter = %d, want %d (stale batch applied nothing)", v, sessionWindow+1)
+	}
+}
+
+// TestPanicRecovery pins the recovery middleware: an injected panic at
+// the apply point becomes a 500 and a coupd_panics_total tick, the
+// semaphore slot is released, and — because the panic fired before any
+// ack — the same seq retries to success with no double apply.
+func TestPanicRecovery(t *testing.T) {
+	var calls int
+	hook := func() {
+		calls++
+		if calls == 1 {
+			panic("poisoned batch")
+		}
+	}
+	_, ts := newTestServer(t, WithMaxInFlight(1), WithApplyHook(hook))
+
+	b := seqBatch("c5", 1, inc("pr"), inc("pr"))
+	resp, out := postBatch(t, ts.URL, b)
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("poisoned batch: HTTP %d: %s, want 500", resp.StatusCode, out)
+	}
+	if v := counterValue(t, ts.URL, "pr"); v != 0 {
+		t.Fatalf("counter after panic = %d, want 0 (hook fires before records land)", v)
+	}
+
+	// Retry same seq: proves both exactly-once-through-panic and that the
+	// MaxInFlight(1) slot was released on the unwind.
+	resp, out = postBatch(t, ts.URL, b)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("retry after panic: HTTP %d: %s", resp.StatusCode, out)
+	}
+	if v := counterValue(t, ts.URL, "pr"); v != 2 {
+		t.Errorf("counter after retry = %d, want 2", v)
+	}
+
+	var st Stats
+	getJSON(t, ts.URL+"/v1/stats", &st)
+	if st.Panics != 1 {
+		t.Errorf("stats.Panics = %d, want 1", st.Panics)
+	}
+	if st.InFlight != 0 {
+		t.Errorf("stats.InFlight = %d after unwind, want 0", st.InFlight)
+	}
+}
+
+// TestDrainAnswersAckedSequenced pins the drain-time dedup answer: a
+// draining server still acknowledges an already-applied sequenced batch
+// from its session table (applying nothing), while unseen batches get
+// 503 — the property that reconciles applied-but-unacked retries with a
+// mid-storm shutdown.
+func TestDrainAnswersAckedSequenced(t *testing.T) {
+	s, ts := newTestServer(t)
+	b := seqBatch("c6", 1, inc("dd"), inc("dd"))
+	if resp, out := postBatch(t, ts.URL, b); resp.StatusCode != http.StatusOK {
+		t.Fatalf("pre-drain batch: HTTP %d: %s", resp.StatusCode, out)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, out := postBatch(t, ts.URL, b) // the retry whose ack was "lost"
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("drain-time replay: HTTP %d: %s, want 200", resp.StatusCode, out)
+	}
+	var br BatchResponse
+	if err := json.Unmarshal(out, &br); err != nil || br.Applied != 2 || !br.Deduped {
+		t.Fatalf("drain-time replay ack %s (err %v), want applied 2, deduped", out, err)
+	}
+	resp, out = postBatch(t, ts.URL, seqBatch("c6", 2, inc("dd")))
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("new batch while draining: HTTP %d: %s, want 503", resp.StatusCode, out)
+	}
+	if v := counterValue(t, ts.URL, "dd"); v != 2 {
+		t.Errorf("counter = %d, want 2", v)
+	}
+}
+
+// TestDrainRacingRetryNeverSplits is the satellite race: a sequenced
+// writer stuck in 429 backoff while Drain flips. The batch must end
+// fully applied (acked) or cleanly rejected (unacked) — never split —
+// and here, since the in-flight slot is held until after the flip, it
+// must be the clean rejection.
+func TestDrainRacingRetryNeverSplits(t *testing.T) {
+	s, ts := newTestServer(t, WithMaxInFlight(1))
+	release, done := slowBatch(t, ts.URL)
+	defer release()
+	waitStats(t, ts.URL, func(st Stats) bool { return st.InFlight == 1 })
+
+	cl := NewClient(ts.URL,
+		WithBackoff(time.Millisecond, 4*time.Millisecond),
+		WithRetryBudget(10*time.Second))
+	sess := cl.Session("drain-race")
+	sendErr := make(chan error, 1)
+	go func() {
+		_, err := sess.Send(context.Background(), []Update{inc("race")})
+		sendErr <- err
+	}()
+	// The writer is provably in its 429 retry loop once a rejection shows.
+	waitStats(t, ts.URL, func(st Stats) bool { return st.Rejected >= 1 })
+
+	drained := make(chan error, 1)
+	go func() { drained <- s.Drain(context.Background()) }()
+	waitStats(t, ts.URL, func(st Stats) bool { return st.Draining })
+
+	release() // let the slot-holding batch land so Drain completes
+	if resp := <-done; resp == nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("slot-holding batch resolved to %+v", resp)
+	}
+	if err := <-drained; err != nil {
+		t.Fatal(err)
+	}
+
+	err := <-sendErr
+	var re *RemoteError
+	if !errors.As(err, &re) || re.Status != http.StatusServiceUnavailable {
+		t.Fatalf("racing Send returned %v, want a 503 RemoteError", err)
+	}
+	// Never split: the rejected batch applied nothing at all (the counter
+	// was never even created), and the slot-holder's update is intact.
+	var snap Snapshot
+	if status := getJSON(t, ts.URL+"/v1/snapshot/race", &snap); status != http.StatusNotFound {
+		t.Errorf("rejected batch left structure 'race' behind (HTTP %d, value %d)", status, snap.Value)
+	}
+	if v := counterValue(t, ts.URL, "x"); v != 1 {
+		t.Errorf("slot-holder counter = %d, want 1", v)
+	}
+}
+
+func waitStats(t *testing.T, url string, ok func(Stats) bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var st Stats
+		getJSON(t, url+"/v1/stats", &st)
+		if ok(st) {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("condition never held; last stats %+v", st)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestRetryAfterMsHeader pins the millisecond backpressure hint riding
+// alongside the whole-second standard header on 429s.
+func TestRetryAfterMsHeader(t *testing.T) {
+	_, ts := newTestServer(t, WithMaxInFlight(1))
+	release, done := slowBatch(t, ts.URL)
+	defer release()
+	waitStats(t, ts.URL, func(st Stats) bool { return st.InFlight == 1 })
+
+	resp, out := postBatch(t, ts.URL, BatchRequest{Updates: []Update{inc("ra")}})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("HTTP %d: %s, want 429", resp.StatusCode, out)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "1" {
+		t.Errorf("Retry-After = %q, want \"1\"", got)
+	}
+	if got := resp.Header.Get("Retry-After-Ms"); got != strconv.Itoa(RetryAfterMs) {
+		t.Errorf("Retry-After-Ms = %q, want %d", got, RetryAfterMs)
+	}
+	release()
+	<-done
+}
+
+// TestSequencedApplyZeroAllocs alloc-pins the steady-state sequenced
+// apply path — session lookup, dedup check, validate-then-apply, ack,
+// telemetry — at zero allocations per batch once structures, session,
+// and scratch buffers exist. The static half of this guarantee is
+// coupvet's hotalloc/-escapes pass over the //coup:hotpath annotations.
+func TestSequencedApplyZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates (and sync.Pool drops Puts under race)")
+	}
+	s, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := &BatchRequest{Client: "alloc-pin", Updates: make([]Update, 64)}
+	for i := range req.Updates {
+		req.Updates[i] = inc("za" + strconv.Itoa(i%4))
+	}
+	var seq uint64
+	run := func() {
+		seq++
+		req.Seq = seq
+		applied, deduped, err := s.applySequencedBatch(req)
+		if err != nil || deduped || applied != len(req.Updates) {
+			t.Fatalf("seq %d: applied=%d deduped=%v err=%v", seq, applied, deduped, err)
+		}
+	}
+	run() // create structures, session, and scratch capacity
+	if avg := testing.AllocsPerRun(200, run); avg != 0 {
+		t.Errorf("sequenced apply path allocates %.1f/op at steady state, want 0", avg)
+	}
+}

@@ -16,6 +16,14 @@ import (
 // MaxBatchBytes bounds a batch request body.
 const MaxBatchBytes = 8 << 20
 
+// RetryAfterMs is the millisecond backpressure hint a 429 carries in its
+// Retry-After-Ms header. The standard Retry-After header only speaks
+// whole seconds — three orders of magnitude coarser than the closed-loop
+// recovery time of a batching client — so saturation responses carry
+// both: the second-granular ceiling for generic clients and this hint
+// for clients that understand it (coupd.Session does).
+const RetryAfterMs = 2
+
 // Server serves a Registry over HTTP. Build one with New, mount it
 // anywhere an http.Handler goes (it routes /v1/... itself), and call
 // Drain before process exit so in-flight batches land.
@@ -23,6 +31,19 @@ type Server struct {
 	reg         *Registry
 	maxInFlight int
 	sem         chan struct{}
+
+	// Exactly-once plane: per-client dedup sessions (see session.go).
+	sessions *sessionTable
+	sessMax  int
+	sessTTL  time.Duration
+
+	// Chaos hooks (WithApplyHook/WithReduceHook): called at the start of
+	// batch application and snapshot reduction when set. They exist for
+	// fault injection — internal/faultnet builds panic/stall hooks — and
+	// fire before any record lands, so a hook-induced panic applies
+	// nothing and the batch stays safe to retry.
+	applyHook  func()
+	reduceHook func()
 
 	drainMu  sync.RWMutex // write-held only to flip draining
 	draining bool
@@ -44,8 +65,17 @@ type Server struct {
 	reduceNs    *obs.Histogram // per-request reduce latency, log2 buckets
 	batchLen    *obs.Histogram // log2-bucketed accepted batch sizes
 	depth       *obs.Counter   // in-flight batches right now
+	panics      *obs.Counter   // handler panics recovered to 500s
 	batchReqs   sync.Pool      // *BatchRequest, decode reuse
+	entScratch  sync.Pool      // *entScratch, validate-then-apply reuse
 	snapScratch sync.Pool      // *snapScratch, reduction reuse
+}
+
+// entScratch carries the resolved-entry slice between a sequenced
+// batch's validate pass and its apply pass, pooled so the steady-state
+// sequenced path allocates nothing.
+type entScratch struct {
+	ents []*entry
 }
 
 // Trace span ids, the ID field of the server's obs.Ring records.
@@ -73,6 +103,48 @@ func WithMaxInFlight(n int) Option {
 	}
 }
 
+// WithDedupSessions bounds the exactly-once session table: at most max
+// client sessions, each evicted after ttl idle. Eviction trades memory
+// for the dedup horizon — a client idle past the TTL (or LRU-evicted
+// under a burst of more than max distinct clients) that then retries an
+// old seq gets ErrStaleSeq instead of a dedup answer — so keep the TTL
+// far above any client's retry budget. Defaults: DefaultMaxSessions,
+// DefaultSessionTTL.
+func WithDedupSessions(max int, ttl time.Duration) Option {
+	return func(s *Server) error {
+		if max < 1 {
+			return fmt.Errorf("coupd: dedup session cap must be >= 1, got %d", max)
+		}
+		if ttl <= 0 {
+			return fmt.Errorf("coupd: dedup session TTL must be > 0, got %v", ttl)
+		}
+		s.sessMax, s.sessTTL = max, ttl
+		return nil
+	}
+}
+
+// WithApplyHook installs fn at the head of batch application: it runs
+// after a sequenced batch validates (or before an unsequenced batch's
+// first record), so a panicking hook aborts the batch before any record
+// lands. For fault injection — see internal/faultnet's PanicN/StallEvery
+// — a panic surfaces as a recovered 500 (coupd_panics_total), never a
+// dead process or a half-applied sequenced batch.
+func WithApplyHook(fn func()) Option {
+	return func(s *Server) error {
+		s.applyHook = fn
+		return nil
+	}
+}
+
+// WithReduceHook installs fn at the head of snapshot reduction, the
+// read-plane counterpart of WithApplyHook.
+func WithReduceHook(fn func()) Option {
+	return func(s *Server) error {
+		s.reduceHook = fn
+		return nil
+	}
+}
+
 // New builds a Server over a fresh registry.
 func New(opts ...Option) (*Server, error) {
 	m := obs.NewRegistry()
@@ -88,6 +160,7 @@ func New(opts ...Option) (*Server, error) {
 		reduceNs:  m.Histogram("coupd_reduce_ns", "Snapshot reduce-on-read latency in nanoseconds.", 32),
 		batchLen:  m.Histogram("coupd_batch_size", "Applied records per accepted batch.", 16),
 		depth:     m.UpDownCounter("coupd_in_flight", "Batches being processed right now."),
+		panics:    m.Counter("coupd_panics_total", "Handler panics recovered to 500 responses."),
 	}
 	m.Gauge("coupd_structures", "Registered commutative structures.",
 		func() int64 { return int64(s.reg.Len()) })
@@ -105,8 +178,16 @@ func New(opts ...Option) (*Server, error) {
 	if s.maxInFlight == 0 {
 		s.maxInFlight = 4 * runtime.GOMAXPROCS(0)
 	}
+	if s.sessMax == 0 {
+		s.sessMax = DefaultMaxSessions
+	}
+	if s.sessTTL == 0 {
+		s.sessTTL = DefaultSessionTTL
+	}
+	s.sessions = newSessionTable(s.sessMax, s.sessTTL, m)
 	s.sem = make(chan struct{}, s.maxInFlight)
 	s.batchReqs.New = func() any { return &BatchRequest{} }
+	s.entScratch.New = func() any { return &entScratch{} }
 	s.snapScratch.New = func() any { return &snapScratch{} }
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
@@ -129,8 +210,28 @@ func (s *Server) Metrics() *obs.Registry { return s.metrics }
 // obs.WriteTrace it) to capture recent request activity.
 func (s *Server) Trace() *obs.Ring { return s.trace }
 
-// ServeHTTP makes Server an http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP makes Server an http.Handler. It recovers handler panics —
+// a poisoned batch, a chaos hook — into a 500 ErrorResponse and a
+// coupd_panics_total tick, so one bad request cannot kill the process;
+// the in-flight semaphore and WaitGroup release on the unwind (their
+// releases are deferred below the recovery point). Sequenced batches
+// stay exactly-once through a panic: acks are recorded only after the
+// last record lands, so an un-acked 500 is safe to retry.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	defer func() {
+		p := recover()
+		if p == nil {
+			return
+		}
+		if err, ok := p.(error); ok && errors.Is(err, http.ErrAbortHandler) {
+			panic(p) // net/http's own abort idiom: let the server suppress it
+		}
+		s.panics.Inc()
+		writeJSON(w, http.StatusInternalServerError,
+			ErrorResponse{Error: fmt.Sprintf("coupd: recovered handler panic: %v", p)})
+	}()
+	s.mux.ServeHTTP(w, r)
+}
 
 // Drain stops accepting batches (they get 503 + ErrDraining) and waits
 // for every in-flight batch to land or ctx to expire. Snapshots and
@@ -188,20 +289,27 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	defer func() {
 		s.trace.Record(obs.EvSpanEnd, traceBatch, uint64(time.Since(t0).Nanoseconds()), 0)
 	}()
-	release, err := s.enterBatch()
-	if err != nil {
-		status := http.StatusServiceUnavailable
-		if errors.Is(err, ErrSaturated) {
-			status = http.StatusTooManyRequests
-			// Sub-second granularity is not expressible here; clients with
-			// tighter loops (the coupload driver) back off in milliseconds
-			// and treat this as a ceiling.
-			w.Header().Set("Retry-After", "1")
-		}
-		writeJSON(w, status, ErrorResponse{Error: err.Error()})
+	release, gateErr := s.enterBatch()
+	if gateErr != nil && errors.Is(gateErr, ErrSaturated) {
+		// Whole seconds are not expressible backpressure for a closed
+		// loop that recovers in milliseconds; alongside the standard
+		// ceiling, Retry-After-Ms hints the real scale (coupd.Session
+		// and the swbench driver honor it).
+		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After-Ms", retryAfterMsValue)
+		writeJSON(w, http.StatusTooManyRequests, ErrorResponse{Error: gateErr.Error()})
 		return
 	}
-	defer release()
+	if release != nil {
+		defer release()
+	}
+	// gateErr != nil here means draining: fall through to decode anyway
+	// (outside the semaphore — drain is terminal, so the unbounded-decode
+	// window is one shutdown long and each body is MaxBatchBytes-capped)
+	// so an already-acknowledged sequenced batch can still be answered
+	// from its dedup session. That answer applies nothing, which is what
+	// makes it safe during shutdown — and what lets a client whose ack
+	// was lost in transit resolve its batch instead of losing it.
 
 	req := s.batchReqs.Get().(*BatchRequest)
 	defer func() {
@@ -210,21 +318,137 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}()
 	// json.Decode merges into pre-existing slice elements, so a record
 	// that omits a field would inherit the previous batch's value; zero
-	// the pooled backing array so reuse can't leak records across batches.
+	// the pooled backing array so reuse can't leak records across
+	// batches, and reset the session fields the same way.
 	clear(req.Updates[:cap(req.Updates)])
+	req.Client, req.Seq = "", 0
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, MaxBatchBytes))
 	if err := dec.Decode(req); err != nil {
 		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: fmt.Sprintf("coupd: %v: bad batch body: %v", ErrBadUpdate, err)})
 		return
 	}
+	if gateErr != nil { // draining
+		if req.Client != "" {
+			if applied, ok := s.sessions.replayAck(req.Client, req.Seq); ok {
+				writeJSON(w, http.StatusOK, BatchResponse{Applied: applied, Deduped: true})
+				return
+			}
+		}
+		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: gateErr.Error()})
+		return
+	}
+
+	if req.Client != "" {
+		applied, deduped, err := s.applySequencedBatch(req)
+		if err != nil {
+			status := http.StatusBadRequest
+			if errors.Is(err, ErrStaleSeq) {
+				status = http.StatusConflict
+			}
+			// Validate-then-apply: a rejected sequenced batch applied
+			// nothing, so Applied is always 0 here and the client may
+			// retry the same seq after correcting the batch.
+			writeJSON(w, status, ErrorResponse{Error: err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, BatchResponse{Applied: applied, Deduped: deduped})
+		return
+	}
+
+	if s.applyHook != nil {
+		s.applyHook()
+	}
 	applied, err := s.applyBatch(req)
 	s.countBatch(applied)
 	if err != nil {
-		// Batches are not atomic: report how far we got and stop.
+		// Bare batches are not atomic: report how far we got and stop.
 		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error(), Applied: applied})
 		return
 	}
 	writeJSON(w, http.StatusOK, BatchResponse{Applied: applied})
+}
+
+// retryAfterMsValue is RetryAfterMs pre-rendered for the 429 header.
+const retryAfterMsValue = "2"
+
+// applySequencedBatch runs one sequenced batch through its dedup
+// session: duplicate seqs are answered from the session's ack window
+// without touching the registry, new or retried seqs go through
+// validate-then-apply — every record is checked (and its structure
+// resolved) before any is applied, so a failed batch applies nothing —
+// and the seq is acknowledged only after the last record lands.
+func (s *Server) applySequencedBatch(req *BatchRequest) (applied int, deduped bool, err error) {
+	if req.Seq == 0 {
+		return 0, false, fmt.Errorf("coupd: %w: sequenced batch (client %q) needs seq >= 1", ErrBadUpdate, req.Client)
+	}
+	sess := s.sessions.get(req.Client, true)
+	// The session lock spans check-validate-apply-ack: two racing POSTs
+	// of one (client, seq) — a client retrying into its own still-running
+	// first attempt — serialize here, and the loser sees the ack.
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	state, prior := sess.check(req.Seq)
+	switch state {
+	case seqStale:
+		return 0, false, fmt.Errorf("coupd: %w: client %q seq %d is beyond the %d-batch window below seq %d",
+			ErrStaleSeq, req.Client, req.Seq, sessionWindow, sess.maxSeq)
+	case seqDup:
+		s.sessions.dedupHits.Inc()
+		s.sessions.replays.Inc()
+		return prior, true, nil
+	case seqRetry:
+		s.sessions.replays.Inc()
+	}
+	sc := s.entScratch.Get().(*entScratch)
+	defer func() {
+		sc.ents = sc.ents[:0]
+		s.entScratch.Put(sc)
+	}()
+	sc.ents, err = s.validateBatch(req, sc.ents)
+	if err != nil {
+		return 0, false, err
+	}
+	if s.applyHook != nil {
+		s.applyHook()
+	}
+	s.applyValidated(req, sc.ents)
+	sess.ack(req.Seq, len(req.Updates))
+	s.countBatch(len(req.Updates))
+	return len(req.Updates), false, nil
+}
+
+// validateBatch resolves and checks every record without applying any,
+// appending the resolved entries to ents (a pooled scratch slice, so the
+// steady-state pass allocates nothing). Resolution creates structures on
+// first touch exactly like application would — creation is part of name
+// resolution, not value mutation, so a batch that fails validation may
+// leave new (zero-valued) structures behind but never a partial update.
+//
+//coup:hotpath
+func (s *Server) validateBatch(req *BatchRequest, ents []*entry) ([]*entry, error) {
+	for i := range req.Updates {
+		ent, err := s.reg.validate(&req.Updates[i])
+		if err != nil {
+			return ents, fmt.Errorf("record %d: %v (validate-then-apply: nothing applied; correct and resend seq %d)", i, err, req.Seq)
+		}
+		ents = append(ents, ent)
+	}
+	return ents, nil
+}
+
+// applyValidated lands every record of a batch validateBatch accepted.
+// It cannot fail: validation ran every check against the same entries,
+// entries never change kind, and the checks are deterministic — a
+// failure here is a bug worth crashing the request over (the recovery
+// middleware turns it into an un-acked 500).
+//
+//coup:hotpath
+func (s *Server) applyValidated(req *BatchRequest, ents []*entry) {
+	for i := range req.Updates {
+		if err := ents[i].apply(&req.Updates[i], false); err != nil {
+			panic(fmt.Sprintf("coupd: validated record %d failed apply: %v", i, err))
+		}
+	}
 }
 
 // applyBatch applies the decoded records in order, returning how many
@@ -268,6 +492,9 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		sc.u64 = sc.u64[:0]
 		s.snapScratch.Put(sc)
 	}()
+	if s.reduceHook != nil {
+		s.reduceHook()
+	}
 	var snap Snapshot
 	t0 := time.Now()
 	err := s.reg.Snapshot(r.PathValue("name"), sc, &snap)
@@ -291,6 +518,9 @@ func (s *Server) handleBulkSnapshot(w http.ResponseWriter, r *http.Request) {
 		sc.u64 = sc.u64[:0]
 		s.snapScratch.Put(sc)
 	}()
+	if s.reduceHook != nil {
+		s.reduceHook()
+	}
 	names := s.reg.Names()
 	bulk := BulkSnapshot{Structures: make([]Snapshot, 0, len(names))}
 	t0 := time.Now()
@@ -336,6 +566,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		InFlight:     s.depth.Value(),
 		MaxInFlight:  s.maxInFlight,
 		BatchLenLog2: batchLen.Buckets,
+		Sessions:     s.sessions.size(),
+		DedupHits:    s.sessions.dedupHits.Value(),
+		Replays:      s.sessions.replays.Value(),
+		Panics:       s.panics.Value(),
 	}
 	s.drainMu.RLock()
 	st.Draining = s.draining

@@ -1,0 +1,140 @@
+package coupd
+
+import (
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/pkg/obs"
+)
+
+func newTestTable(max int, ttl time.Duration) *sessionTable {
+	return newSessionTable(max, ttl, obs.NewRegistry())
+}
+
+func TestSessionWindowSemantics(t *testing.T) {
+	var s session
+	if st, _ := s.check(1); st != seqNew {
+		t.Fatalf("fresh session seq 1: %v, want seqNew", st)
+	}
+	s.ack(1, 10)
+	if st, applied := s.check(1); st != seqDup || applied != 10 {
+		t.Fatalf("acked seq 1: %v/%d, want seqDup/10", st, applied)
+	}
+	if st, _ := s.check(2); st != seqNew {
+		t.Fatalf("seq 2 after ack 1: %v, want seqNew", st)
+	}
+
+	// Skip ahead: 3 acked, 2 left un-acked in the window.
+	s.ack(3, 30)
+	if st, _ := s.check(2); st != seqRetry {
+		t.Fatalf("unacked in-window seq 2: %v, want seqRetry", st)
+	}
+	s.ack(2, 20)
+	if st, applied := s.check(2); st != seqDup || applied != 20 {
+		t.Fatalf("late-acked seq 2: %v/%d, want seqDup/20", st, applied)
+	}
+	if st, applied := s.check(3); st != seqDup || applied != 30 {
+		t.Fatalf("seq 3 still acked: %v/%d, want seqDup/30", st, applied)
+	}
+
+	// Slide the window one past seq 3: seq 3 stays in, old bits shift.
+	for seq := uint64(4); seq <= 3+sessionWindow-1; seq++ {
+		s.ack(seq, int(seq))
+	}
+	if st, applied := s.check(3); st != seqDup || applied != 30 {
+		t.Fatalf("seq 3 at window edge: %v/%d, want seqDup/30", st, applied)
+	}
+	s.ack(3+sessionWindow, 99)
+	if st, _ := s.check(3); st != seqStale {
+		t.Fatalf("seq 3 past the window: %v, want seqStale", st)
+	}
+	if st, applied := s.check(4); st != seqDup || applied != 4 {
+		t.Fatalf("seq 4 still in window: %v/%d, want seqDup/4", st, applied)
+	}
+
+	// A jump wider than the window clears every old ack bit.
+	s.ack(s.maxSeq+2*sessionWindow, 7)
+	for seq := s.maxSeq - sessionWindow + 1; seq < s.maxSeq; seq++ {
+		if st, _ := s.check(seq); st != seqRetry {
+			t.Fatalf("seq %d after wide jump: %v, want seqRetry", seq, st)
+		}
+	}
+	if st, applied := s.check(s.maxSeq); st != seqDup || applied != 7 {
+		t.Fatalf("jumped-to seq: %v/%d, want seqDup/7", st, applied)
+	}
+}
+
+func TestSessionTableLRUEviction(t *testing.T) {
+	tab := newTestTable(3, time.Hour)
+	a := tab.get("a", true)
+	tab.get("b", true)
+	tab.get("c", true)
+	// Touch a so b is the LRU tail, then force an eviction.
+	if got := tab.get("a", false); got != a {
+		t.Fatal("hit on a returned a different session")
+	}
+	tab.get("d", true)
+	if tab.get("b", false) != nil {
+		t.Error("b (LRU tail) survived eviction")
+	}
+	for _, id := range []string{"a", "c", "d"} {
+		if tab.get(id, false) == nil {
+			t.Errorf("%s evicted, want kept", id)
+		}
+	}
+	if n := tab.size(); n != 3 {
+		t.Errorf("table size %d, want 3", n)
+	}
+}
+
+func TestSessionTableTTL(t *testing.T) {
+	tab := newTestTable(10, 10*time.Millisecond)
+	s := tab.get("a", true)
+	s.ack(5, 1)
+	time.Sleep(20 * time.Millisecond)
+	// An expired hit must not resurrect the old ack window.
+	if got := tab.get("a", false); got != nil {
+		t.Fatal("expired session returned on a non-creating get")
+	}
+	fresh := tab.get("a", true)
+	if fresh == s {
+		t.Fatal("create reused the expired session")
+	}
+	if fresh.maxSeq != 0 {
+		t.Fatalf("fresh session inherited maxSeq %d", fresh.maxSeq)
+	}
+	// Expired tails are evicted on create even when under capacity... only
+	// when making room; verify the expired-sweep at least bounds growth.
+	for i := 0; i < 5; i++ {
+		tab.get("x"+strconv.Itoa(i), true)
+	}
+	time.Sleep(20 * time.Millisecond)
+	tab.get("fresh", true)
+	if n := tab.size(); n != 1 {
+		t.Errorf("after TTL sweep on create: size %d, want 1 (only the fresh session)", n)
+	}
+}
+
+func TestReplayAck(t *testing.T) {
+	tab := newTestTable(10, time.Hour)
+	if _, ok := tab.replayAck("ghost", 1); ok {
+		t.Fatal("replayAck invented a session")
+	}
+	if tab.get("ghost", false) != nil {
+		t.Fatal("replayAck created session state")
+	}
+	s := tab.get("a", true)
+	s.mu.Lock()
+	s.ack(2, 8)
+	s.mu.Unlock()
+	if applied, ok := tab.replayAck("a", 2); !ok || applied != 8 {
+		t.Fatalf("replayAck(a, 2) = %d/%v, want 8/true", applied, ok)
+	}
+	if _, ok := tab.replayAck("a", 1); ok {
+		t.Fatal("replayAck answered an un-acked seq")
+	}
+	if got := tab.dedupHits.Value(); got != 1 {
+		t.Errorf("dedupHits %d, want 1", got)
+	}
+}

@@ -17,15 +17,37 @@ type Update struct {
 }
 
 // BatchRequest is the POST /v1/batch body: many updates, one request.
-// Records apply in order; the batch is not atomic (see BatchResponse).
+//
+// A bare batch (empty Client) keeps the original semantics: records
+// apply in order and the batch is not atomic (see BatchResponse).
+//
+// Setting Client and Seq makes the batch *sequenced*, which upgrades
+// delivery to exactly-once: the server keeps a per-client dedup session
+// (last seq + sliding ack window), answers a re-POSTed acknowledged
+// batch with its original Applied without re-applying, and applies the
+// batch validate-then-apply — every record is checked before any is
+// applied, so a rejected batch applies nothing and the same seq can be
+// retried after correction. Seq starts at 1 and each client sends its
+// batches in seq order (retries resend the same seq with the same
+// records); a seq that has fallen out of the ack window is answered
+// 409 + ErrStaleSeq.
 type BatchRequest struct {
 	Updates []Update `json:"updates"`
+	// Client names the dedup session, typically one per writer
+	// connection/goroutine. Empty means unsequenced (no dedup).
+	Client string `json:"client,omitempty"`
+	// Seq is the 1-based batch sequence number within the session.
+	// Sequenced batches with Seq 0 are rejected as ErrBadUpdate.
+	Seq uint64 `json:"seq,omitempty"`
 }
 
 // BatchResponse acknowledges a batch. Applied counts the records that
-// landed; on success it equals len(Updates).
+// landed; on success it equals len(Updates). Deduped reports that the
+// server recognized a sequenced batch as already applied and answered
+// from its dedup session without re-applying anything.
 type BatchResponse struct {
-	Applied int `json:"applied"`
+	Applied int  `json:"applied"`
+	Deduped bool `json:"deduped,omitempty"`
 }
 
 // ErrorResponse is the body of every non-2xx answer. Applied carries the
@@ -85,4 +107,9 @@ type Stats struct {
 	InFlight    int64 `json:"in_flight"`     // batches being processed now
 	MaxInFlight int   `json:"max_in_flight"` // the semaphore bound
 	Draining    bool  `json:"draining"`
+	// Exactly-once plane.
+	Sessions  int64 `json:"sessions"`   // live dedup sessions
+	DedupHits int64 `json:"dedup_hits"` // duplicate batches answered without re-applying
+	Replays   int64 `json:"replays"`    // sequenced batches re-presenting a seen seq
+	Panics    int64 `json:"panics"`     // handler panics recovered to 500s
 }
