@@ -39,6 +39,25 @@ type Params struct {
 	// never bites in practice. Progress affects telemetry only, never
 	// results.
 	Progress *obs.Registry
+	// Job, when non-nil, routes every grid sweep through the shard/
+	// resume/merge job model: a shard job runs only its round-robin slice
+	// of each grid (spilling results to its store, leaving the rest zero
+	// and the tables unaggregated), a merge job resolves every grid from
+	// the shard stores and yields the same tables a single-process run
+	// produces. Only Shardable experiments honor it — the harness must
+	// set the job's namespace to the experiment id before Run. Grids are
+	// enumerated identically with or without a Job, so shard membership
+	// and store keys are stable across processes.
+	Job *coup.SweepJob
+}
+
+// Fingerprint digests every Params field that changes the enumerated
+// specs — scale, reps, the core cap — for guarding SweepJob stores: a
+// store recorded at one parameterization never resumes or merges into
+// another. Parallel, Progress and Job are excluded; they never change
+// results.
+func (p Params) Fingerprint() string {
+	return fmt.Sprintf("scale=%g,reps=%d,maxcores=%d", p.Scale, p.Reps, p.MaxCores)
 }
 
 // DefaultParams returns the full-run parameters.
@@ -81,16 +100,28 @@ func (p Params) coreSweep() []int {
 	return out
 }
 
-// Experiment is one registered, named experiment.
+// Experiment is one registered, named experiment. Shardable experiments
+// derive every data point from deterministic simulation grids, so their
+// sweeps can be partitioned across processes and merged (Params.Job);
+// the rest measure wall-clock behavior or run serial model checks, which
+// only make sense in one process.
 type Experiment struct {
-	ID   string
-	Desc string
-	Run  func(p Params) []*stats.Table
+	ID        string
+	Desc      string
+	Shardable bool
+	Run       func(p Params) []*stats.Table
 }
 
 var registry []Experiment
 
 func register(id, desc string, run func(p Params) []*stats.Table) {
+	registry = append(registry, Experiment{ID: id, Desc: desc, Shardable: true, Run: run})
+}
+
+// registerSerial registers an experiment that cannot shard: its results
+// come from wall-clock measurement or serial exploration rather than a
+// deterministic simulation grid.
+func registerSerial(id, desc string, run func(p Params) []*stats.Table) {
 	registry = append(registry, Experiment{ID: id, Desc: desc, Run: run})
 }
 
@@ -165,9 +196,12 @@ func newGrid(p Params) *grid {
 	return &grid{p: p, reps: reps}
 }
 
-// add registers one data point — reps seeded runs of mk's workload under
-// proto on cores — and returns the point run will fill in.
-func (g *grid) add(mk func() coup.Workload, cores int, proto string, extra ...coup.Option) *point {
+// add registers one data point — reps seeded runs of w's workload under
+// proto on cores — and returns the point run will fill in. Specs are
+// registry-keyed (workload name + params, never a closure), so every
+// grid spec has a durable content hash (coup.SpecKey) and sweeps can
+// shard, resume and merge across processes.
+func (g *grid) add(w wl, cores int, proto string, extra ...coup.Option) *point {
 	pt := &point{}
 	g.pts = append(g.pts, pt)
 	for r := 0; r < g.reps; r++ {
@@ -175,11 +209,9 @@ func (g *grid) add(mk func() coup.Workload, cores int, proto string, extra ...co
 			coup.WithCores(cores),
 			coup.WithProtocol(proto),
 			coup.WithSeed(uint64(r + 1)),
+			coup.WithWorkloadParams(w.wp),
 		}, extra...)
-		g.specs = append(g.specs, coup.RunSpec{
-			Make:    func() (coup.Workload, error) { return mk(), nil },
-			Options: opts,
-		})
+		g.specs = append(g.specs, coup.RunSpec{Workload: w.name, Options: opts})
 	}
 	return pt
 }
@@ -196,7 +228,7 @@ var (
 	sweepers  = map[int]*coup.Sweeper{}
 )
 
-func sharedSweep(p Params, specs []coup.RunSpec) []coup.SweepResult {
+func sharedSweep(p Params, specs []coup.RunSpec) ([]coup.SweepResult, bool) {
 	sweeperMu.Lock()
 	defer sweeperMu.Unlock()
 	s, ok := sweepers[p.Parallel]
@@ -215,18 +247,32 @@ func sharedSweep(p Params, specs []coup.RunSpec) []coup.SweepResult {
 		}
 		sweepers[p.Parallel] = s
 	}
-	return s.Run(specs)
+	if p.Job != nil {
+		res, complete, err := p.Job.Sweep(s, specs)
+		if err != nil {
+			// Panic with the error value itself so harnesses that recover
+			// can still errors.As into *coup.CoverageError etc.
+			panic(fmt.Errorf("exp: sweep job: %w", err))
+		}
+		return res, complete
+	}
+	return s.Run(specs), true
 }
 
 // run fans the accumulated specs out across the worker pool and aggregates
 // per point. It panics on any failed run (an experiment must not silently
-// report results from a broken run).
+// report results from a broken run). Under a shard job the sweep may be
+// incomplete — foreign shards own some specs — in which case aggregation
+// is skipped: points stay zero and the harness suppresses table output.
 func (g *grid) run() {
-	results := sharedSweep(g.p, g.specs)
+	results, complete := sharedSweep(g.p, g.specs)
 	for i, res := range results {
 		if res.Err != nil {
 			panic(fmt.Sprintf("exp: sweep spec %d of %d: %v", i, len(results), res.Err))
 		}
+	}
+	if !complete {
+		return
 	}
 	for pi, pt := range g.pts {
 		cycles := make([]float64, g.reps)
@@ -265,41 +311,42 @@ func (g *grid) note(t *stats.Table, pts ...*point) {
 	t.AddNote("each point is the mean of %d seeded reps; worst-case ±CI95 is %.1f%% of the mean cycle count", g.reps, worst*100)
 }
 
-// measure evaluates a single data point: mk()'s workload, reps times with
+// measure evaluates a single data point: w's workload, reps times with
 // different machine seeds, under proto on cores. It is a thin aggregation
 // over a one-point grid; runners measuring more than one point should
 // build a grid directly so the whole set fans out in one sweep. It panics
 // on validation failures.
-func measure(mk func() coup.Workload, cores int, proto string, p Params, extra ...coup.Option) point {
+func measure(w wl, cores int, proto string, p Params, extra ...coup.Option) point {
 	g := newGrid(p)
-	pt := g.add(mk, cores, proto, extra...)
+	pt := g.add(w, cores, proto, extra...)
 	g.run()
 	return *pt
 }
 
-// workload returns a factory building the named registered workload; a
-// lookup or parameter failure is an experiment-setup bug, so it panics.
-func workload(name string, wp coup.WorkloadParams) func() coup.Workload {
-	return func() coup.Workload {
-		w, err := coup.NewWorkload(name, wp)
-		if err != nil {
-			panic(fmt.Sprintf("exp: %v", err))
-		}
-		return w
-	}
+// wl names a registered workload plus the parameters it runs with. Grids
+// are built from wl values rather than factory closures so every spec
+// carries its workload by registry name — the representation coup.SpecKey
+// can hash, which is what makes sweeps shardable and resumable.
+type wl struct {
+	name string
+	wp   coup.WorkloadParams
+}
+
+func workload(name string, wp coup.WorkloadParams) wl {
+	return wl{name: name, wp: wp}
 }
 
 // The five applications (Table 2), sized for simulation at Scale 1.0.
 
-func histWorkload(p Params, bins int, variant string) func() coup.Workload {
+func histWorkload(p Params, bins int, variant string) wl {
 	return workload(variant, coup.WorkloadParams{Size: p.scaleInt(240_000), Bins: bins, Seed: 7})
 }
 
-func spmvWorkload(p Params) func() coup.Workload {
+func spmvWorkload(p Params) wl {
 	return workload("spmv", coup.WorkloadParams{Size: p.scaleInt(8000), NNZPerCol: 24, Seed: 5})
 }
 
-func pgrankWorkload(p Params) func() coup.Workload {
+func pgrankWorkload(p Params) wl {
 	scale := 13
 	if p.Scale < 0.5 {
 		scale = 11
@@ -310,7 +357,7 @@ func pgrankWorkload(p Params) func() coup.Workload {
 	return workload("pgrank", coup.WorkloadParams{Scale: scale, EdgeFactor: 12, Iters: 2, Seed: 9})
 }
 
-func bfsWorkload(p Params) func() coup.Workload {
+func bfsWorkload(p Params) wl {
 	scale := 14
 	if p.Scale < 0.5 {
 		scale = 12
@@ -321,7 +368,7 @@ func bfsWorkload(p Params) func() coup.Workload {
 	return workload("bfs", coup.WorkloadParams{Scale: scale, EdgeFactor: 10, Seed: 13})
 }
 
-func fluidWorkload(p Params) func() coup.Workload {
+func fluidWorkload(p Params) wl {
 	side := 128
 	if p.Scale < 0.5 {
 		side = 64
@@ -332,14 +379,14 @@ func fluidWorkload(p Params) func() coup.Workload {
 	return workload("fluid", coup.WorkloadParams{Size: side, Iters: 3, Seed: 17})
 }
 
-// apps returns the Fig 10/11 application list with constructors.
+// apps returns the Fig 10/11 application list.
 func apps(p Params) []struct {
 	Name string
-	Mk   func() coup.Workload
+	W    wl
 } {
 	return []struct {
 		Name string
-		Mk   func() coup.Workload
+		W    wl
 	}{
 		{"hist", histWorkload(p, 512, "hist")},
 		{"spmv", spmvWorkload(p)},

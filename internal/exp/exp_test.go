@@ -90,7 +90,7 @@ func TestMeasureValidatesAndAverages(t *testing.T) {
 func TestGridMatchesMeasure(t *testing.T) {
 	p := tinyParams()
 	p.Reps = 2
-	mk := func() coup.Workload { return histWorkload(p, 64, "hist")() }
+	mk := histWorkload(p, 64, "hist")
 	g := newGrid(p)
 	a := g.add(mk, 2, "MESI")
 	b := g.add(mk, 4, "MEUSI")
@@ -144,6 +144,73 @@ func TestTablesIdenticalSerialVsParallel(t *testing.T) {
 		if serial != parallel {
 			t.Errorf("%s: tables differ between -parallel 1 and -parallel 8:\n--- serial ---\n%s--- parallel ---\n%s",
 				id, serial, parallel)
+		}
+	}
+}
+
+// TestShardMergeTablesIdentical is the sharding contract end to end:
+// running an experiment as four shard processes-worth of jobs (each
+// spilling its slice to a result store) and then merging must render
+// tables byte-identical to a plain single-process run. It also pins that
+// the wall-clock experiments are the exact non-Shardable set.
+func TestShardMergeTablesIdentical(t *testing.T) {
+	wallClock := map[string]bool{"fig8": true, "figsw": true, "figsvc": true}
+	for _, e := range All() {
+		if e.Shardable == wallClock[e.ID] {
+			t.Errorf("experiment %s: Shardable=%v, want %v", e.ID, e.Shardable, !wallClock[e.ID])
+		}
+	}
+
+	p := Params{Scale: 0.01, Reps: 2, MaxCores: 8}
+	ids := []string{"fig2", "traffic"}
+	if !testing.Short() {
+		ids = ids[:0]
+		for _, e := range All() {
+			if e.Shardable {
+				ids = append(ids, e.ID)
+			}
+		}
+	}
+	render := func(job *coup.SweepJob) map[string]string {
+		out := map[string]string{}
+		for _, id := range ids {
+			e, _ := ByID(id)
+			if job != nil {
+				if err := job.SetNamespace(id); err != nil {
+					t.Fatalf("%s: %v", id, err)
+				}
+			}
+			pp := p
+			pp.Job = job
+			var s string
+			for _, tb := range e.Run(pp) {
+				s += tb.String() + "\n"
+			}
+			out[id] = s
+		}
+		if job != nil {
+			if err := job.Close(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return out
+	}
+
+	want := render(nil)
+	dir := t.TempDir()
+	const shards = 4
+	for k := 0; k < shards; k++ {
+		job, err := coup.NewShardJob(dir, p.Fingerprint(), k, shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		render(job) // shard mode: tables are unaggregated, ignored
+	}
+	got := render(coup.NewMergeJob(dir, p.Fingerprint()))
+	for _, id := range ids {
+		if got[id] != want[id] {
+			t.Errorf("%s: merged tables differ from single-process run:\n--- single ---\n%s--- merged ---\n%s",
+				id, want[id], got[id])
 		}
 	}
 }

@@ -11,7 +11,7 @@ import (
 )
 
 func init() {
-	register("fig8", "exhaustive verification cost of 2- and 3-level MESI/MEUSI vs cores and #commutative ops", fig8)
+	registerSerial("fig8", "exhaustive verification cost of 2- and 3-level MESI/MEUSI vs cores and #commutative ops", fig8)
 	register("sec55", "sensitivity to reduction unit throughput (256-bit pipelined vs 64-bit unpipelined ALU)", sec55)
 	register("traffic", "Sec 5.2 off-chip traffic reduction of COUP over MESI at max cores", trafficExp)
 	register("table2", "Table 2/Sec 5.2: per-application op types, sequential run time, commutative-op fraction", table2)
@@ -95,8 +95,8 @@ func sec55(p Params) []*stats.Table {
 	for _, app := range apps(p) {
 		rows = append(rows, row{
 			name: app.Name,
-			fast: g.add(app.Mk, cores, "MEUSI"),
-			slow: g.add(app.Mk, cores, "MEUSI", coup.WithReductionALU(16, 16)),
+			fast: g.add(app.W, cores, "MEUSI"),
+			slow: g.add(app.W, cores, "MEUSI", coup.WithReductionALU(16, 16)),
 		})
 	}
 	g.run()
@@ -126,8 +126,8 @@ func trafficExp(p Params) []*stats.Table {
 	for _, app := range apps(p) {
 		rows = append(rows, row{
 			name:  app.Name,
-			mesi:  g.add(app.Mk, cores, "MESI"),
-			meusi: g.add(app.Mk, cores, "MEUSI"),
+			mesi:  g.add(app.W, cores, "MESI"),
+			meusi: g.add(app.W, cores, "MEUSI"),
 		})
 	}
 	g.run()
@@ -157,7 +157,7 @@ func table2(p Params) []*stats.Table {
 	}
 	var rows []row
 	for _, app := range apps(p) {
-		rows = append(rows, row{name: app.Name, pt: g.add(app.Mk, 1, "MEUSI")})
+		rows = append(rows, row{name: app.Name, pt: g.add(app.W, 1, "MEUSI")})
 	}
 	g.run()
 	t := &stats.Table{
@@ -191,7 +191,7 @@ func ablation(p Params) []*stats.Table {
 	hierCores := p.MaxCores
 	hierApps := []struct {
 		Name string
-		Mk   func() coup.Workload
+		W    wl
 	}{
 		{"hist", histWorkload(p, 512, "hist")},
 		{"bfs", bfsWorkload(p)},
@@ -213,8 +213,8 @@ func ablation(p Params) []*stats.Table {
 	hierRows := make([]hierRow, len(hierApps))
 	for i, app := range hierApps {
 		hierRows[i] = hierRow{
-			hier: g.add(app.Mk, hierCores, "MEUSI"),
-			flat: g.add(app.Mk, hierCores, "MEUSI", coup.WithFlatReductions(true)),
+			hier: g.add(app.W, hierCores, "MEUSI"),
+			flat: g.add(app.W, hierCores, "MEUSI", coup.WithFlatReductions(true)),
 		}
 	}
 	g.run()

@@ -65,11 +65,11 @@ func fig10(p Params) []*stats.Table {
 	sweep := p.coreSweep()
 	var all []series
 	for _, app := range apps(p) {
-		s := series{name: app.Name, base: g.add(app.Mk, 1, "MESI")}
+		s := series{name: app.Name, base: g.add(app.W, 1, "MESI")}
 		for _, c := range sweep {
 			s.rows = append(s.rows, cell{
-				mesi: g.add(app.Mk, c, "MESI"),
-				coup: g.add(app.Mk, c, "MEUSI"),
+				mesi: g.add(app.W, c, "MESI"),
+				coup: g.add(app.W, c, "MEUSI"),
 			})
 		}
 		all = append(all, s)
@@ -117,7 +117,7 @@ func fig11(p Params) []*stats.Table {
 				continue
 			}
 			for _, proto := range protos {
-				s.rows = append(s.rows, row{cores: c, proto: proto, pt: g.add(app.Mk, c, proto)})
+				s.rows = append(s.rows, row{cores: c, proto: proto, pt: g.add(app.W, c, proto)})
 			}
 		}
 		all = append(all, s)

@@ -13,7 +13,7 @@ import (
 )
 
 func init() {
-	register("figsvc",
+	registerSerial("figsvc",
 		"coupd service closed loop: in-process pkg/commute next to batched-HTTP coupd on the same Zipf traffic, plus the server's own reduce-latency telemetry",
 		figsvc)
 }

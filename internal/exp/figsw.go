@@ -10,7 +10,7 @@ import (
 )
 
 func init() {
-	register("figsw",
+	registerSerial("figsw",
 		"software-vs-simulation cross-validation: pkg/commute on the real machine next to MESI-vs-MEUSI on the simulator, same workload shapes",
 		figsw)
 }

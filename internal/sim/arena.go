@@ -29,23 +29,101 @@ package sim
 // An Arena is NOT safe for concurrent use. The intended pattern — used by
 // pkg/coup's sweep engine — is one Arena per worker goroutine, living for
 // the duration of the sweep. Dropping the Arena releases everything it
-// holds to the garbage collector.
+// holds to the garbage collector; SetCap bounds what it holds while alive.
 type Arena struct {
 	free map[machineShape][]*Machine
+	// LRU cap state: pooled counts machines currently held across all
+	// shapes, capMachines bounds it (0 = unlimited), and lastUse records
+	// each shape's most recent NewIn/Release on a logical clock so
+	// eviction can pick the least-recently-used shape.
+	capMachines int
+	pooled      int
+	clock       uint64
+	lastUse     map[machineShape]uint64
 	// Pool effectiveness counters, read via PoolStats. Plain words: an
 	// Arena is single-worker by contract, so these need no atomics; the
 	// sweep layer reduces per-worker deltas into shared metrics.
-	warm uint64 // NewIn calls served from the pool
-	cold uint64 // NewIn calls that built a fresh machine
+	warm    uint64 // NewIn calls served from the pool
+	cold    uint64 // NewIn calls that built a fresh machine
+	evicted uint64 // pooled machines dropped by the LRU cap
 }
 
 // NewArena returns an empty machine arena.
-func NewArena() *Arena { return &Arena{free: map[machineShape][]*Machine{}} }
+func NewArena() *Arena {
+	return &Arena{
+		free:    map[machineShape][]*Machine{},
+		lastUse: map[machineShape]uint64{},
+	}
+}
 
 // PoolStats reports how many NewIn calls this arena served from its pool
 // (warm) versus by building a fresh machine (cold). Monotonic over the
 // arena's lifetime.
 func (a *Arena) PoolStats() (warm, cold uint64) { return a.warm, a.cold }
+
+// Evictions reports how many pooled machines the LRU cap has dropped.
+// Monotonic; always zero on an uncapped arena.
+func (a *Arena) Evictions() uint64 { return a.evicted }
+
+// Pooled reports how many released machines the arena currently holds.
+func (a *Arena) Pooled() int { return a.pooled }
+
+// SetCap bounds the arena's resident pool at n machines across all
+// geometries (n <= 0 removes the bound, the default). When a Release
+// would exceed the cap, the arena drops a machine from the
+// least-recently-used shape — wide multi-geometry sweeps keep their hot
+// shapes warm without holding every shape they ever built resident. A
+// lowered cap evicts immediately. Capping never changes simulation
+// results, only the warm-hit rate.
+func (a *Arena) SetCap(n int) {
+	if n < 0 {
+		n = 0
+	}
+	a.capMachines = n
+	if n > 0 {
+		for a.pooled > n {
+			a.evictLRU()
+		}
+	}
+}
+
+// touch stamps shape as the arena's most recently used.
+func (a *Arena) touch(shape machineShape) {
+	a.clock++
+	a.lastUse[shape] = a.clock
+}
+
+// evictLRU drops one pooled machine from the least-recently-used shape
+// that has any. Within a shape the oldest release goes first (the list
+// is a stack, so the front is the coldest scratch).
+func (a *Arena) evictLRU() {
+	var victim machineShape
+	found := false
+	var oldest uint64
+	//coup:unordered-ok min over unique lastUse stamps (clock strictly increments per touch), so the victim is order-independent
+	for shape, list := range a.free {
+		if len(list) == 0 {
+			continue
+		}
+		if t := a.lastUse[shape]; !found || t < oldest {
+			victim, oldest, found = shape, t, true
+		}
+	}
+	if !found {
+		return
+	}
+	list := a.free[victim]
+	copy(list, list[1:])
+	list[len(list)-1] = nil
+	if len(list) == 1 {
+		delete(a.free, victim)
+		delete(a.lastUse, victim)
+	} else {
+		a.free[victim] = list[:len(list)-1]
+	}
+	a.pooled--
+	a.evicted++
+}
 
 // machineShape is the geometry key under which an Arena pools machines:
 // every Config field that determines allocation sizes. Two configs with
@@ -79,8 +157,10 @@ func NewIn(a *Arena, cfg Config) *Machine {
 		return New(cfg)
 	}
 	shape := shapeOf(&cfg)
+	a.touch(shape)
 	if list := a.free[shape]; len(list) > 0 {
 		a.warm++
+		a.pooled--
 		m := list[len(list)-1]
 		list[len(list)-1] = nil
 		a.free[shape] = list[:len(list)-1]
@@ -106,7 +186,15 @@ func (m *Machine) Release() {
 		panic("sim: Machine.Release called twice")
 	}
 	m.released = true
-	m.arena.free[m.shape] = append(m.arena.free[m.shape], m)
+	a := m.arena
+	a.free[m.shape] = append(a.free[m.shape], m)
+	a.pooled++
+	a.touch(m.shape)
+	if a.capMachines > 0 {
+		for a.pooled > a.capMachines {
+			a.evictLRU()
+		}
+	}
 }
 
 // reset returns a pooled machine to the state New(cfg) would produce,

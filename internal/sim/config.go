@@ -28,8 +28,11 @@
 // whole kernel that way); the cache and directory arrays store 31-bit
 // hardware-style tags structure-of-arrays in lazily allocated pages; and
 // the backing memory image is a two-level paged table with lines embedded
-// by value. Machines beyond 256 cores fall back to a 4-ary min-heap
-// scheduler. See README.md for measured throughput.
+// by value. Machines beyond 256 cores fall back to a radix-16 min
+// structure over the same packed keys (same inline run-ahead, wider
+// groups instead of binary matches), and only past 65536 cores — where
+// ids no longer fit a packed key — to a 4-ary min-heap. See README.md
+// for measured throughput.
 //
 // The simulator substitutes for zsim (Sanchez & Kozyrakis, ISCA'13), which
 // is unavailable here; see DESIGN.md for the substitution argument.

@@ -77,13 +77,14 @@ type Machine struct {
 
 	// arena/shape link a machine built by NewIn back to its pool; released
 	// guards against double Release. Scheduler scratch (treeKeys, treeLos,
-	// barrier) is owned by the machine so recycled machines run without
-	// per-Run allocations.
+	// radix, barrier) is owned by the machine so recycled machines run
+	// without per-Run allocations.
 	arena    *Arena
 	shape    machineShape
 	released bool
 	treeKeys []uint64
 	treeLos  []int32
+	radix    [][]uint64
 	barrier  []*core
 
 	// raH is the run-ahead horizon: the packed (time<<16 | id) key of the
@@ -183,11 +184,31 @@ func (m *Machine) spawn(c *core, kernel func(*Ctx)) {
 }
 
 // treeSchedCores is the machine size up to which the scheduler uses the
-// loser tree over packed keys instead of the pointer heap (ids fit the
-// packed key's 16-bit id field with plenty of headroom). The paper's
-// sweeps top out at 128 cores, so every registered experiment runs on
-// the tree.
+// loser tree over packed keys (binary matches with path-loser replay
+// stay ahead of wider scans at these sizes). The paper's sweeps top out
+// at 128 cores, so every registered experiment runs on the tree.
 const treeSchedCores = 256
+
+// radixSchedCores is the machine size up to which the >treeSchedCores
+// fallback uses the radix-16 min structure over packed keys — the limit
+// is the packed key's 16-bit id field. Beyond it the pointer heap (no
+// packed keys, no inline run-ahead) remains as the last resort; no
+// registered experiment or Table-1 geometry gets anywhere near it.
+const radixSchedCores = 1 << 16
+
+// schedOverride forces a specific scheduler regardless of core count.
+// Test hook only: the equivalence tests drive the same machine through
+// two schedulers and require byte-identical stats.
+type schedKind uint8
+
+const (
+	schedAuto schedKind = iota
+	schedTree
+	schedRadix
+	schedHeap
+)
+
+var schedOverride = schedAuto
 
 // Run executes kernel once per core, each as a simulated thread, and
 // returns the collected statistics. Run may be called once per Machine.
@@ -204,9 +225,13 @@ func (m *Machine) Run(kernel func(c *Ctx)) Stats {
 	}
 
 	var end uint64
-	if len(m.cores) <= treeSchedCores {
+	n := len(m.cores)
+	switch {
+	case schedOverride == schedTree || (schedOverride == schedAuto && n <= treeSchedCores):
 		end = m.runTree()
-	} else {
+	case schedOverride == schedRadix || (schedOverride == schedAuto && n <= radixSchedCores):
+		end = m.runRadix()
+	default:
 		end = m.runHeap()
 	}
 
@@ -366,8 +391,200 @@ func packKey(t uint64, id int) uint64 {
 	return t<<16 | uint64(id)
 }
 
-// runHeap drives the simulation with the 4-ary min-heap scheduler, used
-// beyond treeSchedCores cores. It returns the maximum core finish time.
+// Radix scheduler geometry: every internal node covers radixD children,
+// so a 65536-core machine is four levels deep. Nodes store the minimum
+// packed key of their subtree — the (time, id) tie-break rides along in
+// the key itself, and the winning leaf's id is just the low 16 bits of
+// the root minimum.
+const (
+	radixBits = 4
+	radixD    = 1 << radixBits
+	radixMask = radixD - 1
+	// radixMaxDepth bounds the per-pick sibling-min scratch: levels(2^16
+	// leaves, radix 16) = 4.
+	radixMaxDepth = 4
+)
+
+// radixLevels returns the machine's radix scratch sized for n leaves:
+// level 0 holds one key per core and every level is padded to a multiple
+// of radixD with notRunnable sentinels, so group scans never bounds-check
+// and pad entries never win a match. The slices live on the machine and
+// survive arena recycling.
+func (m *Machine) radixLevels(n int) [][]uint64 {
+	pad := func(k int) int { return (k + radixMask) &^ radixMask }
+	var sizes []int
+	for sz := pad(n); ; sz = pad((sz + radixMask) >> radixBits) {
+		sizes = append(sizes, sz)
+		if sz <= radixD {
+			break
+		}
+	}
+	if len(m.radix) != len(sizes) || len(m.radix[0]) != sizes[0] {
+		m.radix = make([][]uint64, len(sizes))
+		for l, sz := range sizes {
+			m.radix[l] = make([]uint64, sz)
+		}
+	}
+	return m.radix
+}
+
+// radixRebuild recomputes every internal level bottom-up (level 0 is
+// already set). Used at startup and after bulk re-keys (barrier release).
+// Only real groups — those whose children exist — are recomputed; pad
+// entries past them hold notRunnable from the per-Run initialization and
+// are never written, so levels shorter than radixD·len(parent) stay
+// in-bounds.
+func radixRebuild(lvl [][]uint64) {
+	for l := 1; l < len(lvl); l++ {
+		child, parent := lvl[l-1], lvl[l]
+		for g := 0; g < len(child)>>radixBits; g++ {
+			mn := notRunnable
+			for _, k := range child[g<<radixBits : (g+1)<<radixBits] {
+				if k < mn {
+					mn = k
+				}
+			}
+			parent[g] = mn
+		}
+	}
+}
+
+// radixUpdate replays leaf i's group minimums up the structure after its
+// key changed, by rescanning each ancestor group. The hot path (picked
+// winner) uses the cheaper sibling-min replay inside runRadix instead;
+// this scan version serves the re-keys with no recorded path: finish,
+// barrier park.
+func radixUpdate(lvl [][]uint64, i int) {
+	idx := i
+	for l := 1; l < len(lvl); l++ {
+		g := idx >> radixBits
+		child := lvl[l-1]
+		mn := notRunnable
+		for _, k := range child[g<<radixBits : (g+1)<<radixBits] {
+			if k < mn {
+				mn = k
+			}
+		}
+		lvl[l][g] = mn
+		idx = g
+	}
+}
+
+// runRadix drives the simulation with a radix-16 min structure over packed
+// (time<<16 | id) keys — the d-ary port of the loser tree, used beyond
+// treeSchedCores cores where the binary tree's fixed path scratch runs
+// out. Picking the earliest core scans the sixteen top-level entries;
+// re-keying the serviced core replays its ancestor path against recorded
+// per-level sibling minimums (one compare per level, like the loser
+// tree's path replay); and those same sibling minimums provide the
+// run-ahead horizon — the earliest operation among every other core — so
+// inline servicing in Ctx.exec works at any machine size with ids that
+// fit the packed key, which the 4-ary pointer heap this replaced could
+// not offer. It returns the maximum core finish time.
+func (m *Machine) runRadix() uint64 {
+	n := len(m.cores)
+	lvl := m.radixLevels(n)
+	// Clear every level — including pad entries, which nothing below ever
+	// writes — so arena-recycled scratch carries no stale keys.
+	for _, row := range lvl {
+		for i := range row {
+			row[i] = notRunnable
+		}
+	}
+	leaves := lvl[0]
+	for i, c := range m.cores {
+		leaves[i] = packKey(c.time, i)
+	}
+	radixRebuild(lvl)
+	depth := len(lvl)
+	top := lvl[depth-1]
+
+	live := n
+	barrierWait := m.barrier[:0]
+	var end uint64
+	for live > 0 {
+		// Pick: the root minimum IS the winning leaf's packed key.
+		wk := top[0]
+		for _, k := range top[1:] {
+			if k < wk {
+				wk = k
+			}
+		}
+		i1 := int(wk & 0xFFFF)
+		c := m.cores[i1]
+		if c.req.kind == opFinish {
+			live--
+			if c.time > end {
+				end = c.time
+			}
+			leaves[i1] = notRunnable
+			radixUpdate(lvl, i1)
+			continue
+		}
+		if c.req.kind == opBarrier {
+			leaves[i1] = notRunnable
+			radixUpdate(lvl, i1)
+			barrierWait = append(barrierWait, c)
+			if len(barrierWait) == live {
+				m.releaseBarrier(barrierWait, func(w *core) {
+					leaves[w.id] = packKey(w.time, w.id)
+				})
+				radixRebuild(lvl)
+				barrierWait = barrierWait[:0]
+			}
+			continue
+		}
+		// Walk the winner's ancestor path once, recording each level's
+		// sibling minimum: their combined minimum is the run-ahead horizon
+		// (earliest op among every other core), and after the service each
+		// ancestor's new value is min(propagated key, recorded sibling min)
+		// — no rescan, exactly the loser tree's path-replay trick in d-ary
+		// form. Nothing re-keys another leaf between recording and replay.
+		var sib [radixMaxDepth]uint64
+		h := notRunnable
+		idx := i1
+		for l := 0; l < depth; l++ {
+			row := lvl[l]
+			g := idx &^ radixMask
+			mn := notRunnable
+			for j, k := range row[g : g+radixD] {
+				if g+j != idx && k < mn {
+					mn = k
+				}
+			}
+			sib[l&(radixMaxDepth-1)] = mn
+			if mn < h {
+				h = mn
+			}
+			idx >>= radixBits
+		}
+		m.raH = h
+		c.time += m.hier.access(c)
+		c.next() // the kernel run-ahead services further ops inline
+		// Replay: propagate the winner's new key up against the recorded
+		// sibling minimums.
+		cur := packKey(c.time, i1)
+		idx = i1
+		for l := 0; l < depth; l++ {
+			lvl[l][idx] = cur
+			if s := sib[l&(radixMaxDepth-1)]; s < cur {
+				cur = s
+			}
+			idx >>= radixBits
+		}
+	}
+	if len(barrierWait) > 0 {
+		panic("sim: deadlock — some cores finished while others wait at a barrier")
+	}
+	m.barrier = barrierWait[:0]
+	return end
+}
+
+// runHeap drives the simulation with the 4-ary min-heap scheduler, the
+// last-resort fallback beyond radixSchedCores cores, where core ids no
+// longer fit a packed key's 16-bit id field (so neither the radix
+// structure nor inline run-ahead apply). It returns the maximum core
+// finish time.
 func (m *Machine) runHeap() uint64 {
 	// Packed horizons carry 16 id bits; on larger machines the running
 	// core's id would truncate in Ctx.exec, so inline servicing is off.

@@ -173,9 +173,9 @@ func TestManyBarriers(t *testing.T) {
 	}
 }
 
-// TestHeapSchedulerLargeMachine drives the >256-core 4-ary-heap scheduler
+// TestRadixSchedulerLargeMachine drives the >256-core radix scheduler
 // path end to end: exact results, determinism and invariants at 272 cores.
-func TestHeapSchedulerLargeMachine(t *testing.T) {
+func TestRadixSchedulerLargeMachine(t *testing.T) {
 	run := func() (uint64, Stats) {
 		cfg := smallCfg(272, MEUSI) // 17 chips: beyond treeSchedCores
 		m := New(cfg)
@@ -200,7 +200,65 @@ func TestHeapSchedulerLargeMachine(t *testing.T) {
 		t.Errorf("counter=%d, want %d", v1, 20*272)
 	}
 	if v1 != v2 || s1 != s2 {
-		t.Error("heap scheduler is non-deterministic")
+		t.Error("radix scheduler is non-deterministic")
+	}
+}
+
+// TestSchedulerEquivalence pins the contract every scheduler shares: any
+// exact min-extraction over (time, id) keys produces the same event order,
+// so the loser tree, the radix structure and the 4-ary heap must yield
+// byte-identical stats on the same machine. The kernel mixes skewed Work,
+// commutative updates, plain loads/stores and barriers so the run-ahead
+// horizon, park/release rebuilds and finish re-keys all get exercised on
+// every structure.
+func TestSchedulerEquivalence(t *testing.T) {
+	kernel := func(shared uint64) func(*Ctx) {
+		return func(c *Ctx) {
+			for round := 0; round < 4; round++ {
+				c.Work(uint64(c.Tid()*31+round) * 7)
+				for i := 0; i < 30; i++ {
+					c.CommAdd64(shared, 1)
+				}
+				if c.Tid()%3 == 0 {
+					c.Load64(shared + 64)
+					c.Store64(shared+64, uint64(c.Tid()))
+				}
+				c.Barrier()
+			}
+		}
+	}
+	run := func(cores int, kind schedKind) (uint64, Stats) {
+		t.Helper()
+		defer func(prev schedKind) { schedOverride = prev }(schedOverride)
+		schedOverride = kind
+		m := New(smallCfg(cores, MEUSI))
+		shared := m.Alloc(128, 64)
+		m.Run(kernel(shared))
+		if err := m.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+		return m.ReadWord64(shared), m.Stats()
+	}
+	// 48 cores: all three structures apply (the tree's path scratch caps
+	// it at treeSchedCores, so the three-way comparison runs below that).
+	vTree, sTree := run(48, schedTree)
+	vRadix, sRadix := run(48, schedRadix)
+	vHeap, sHeap := run(48, schedHeap)
+	if vTree != 4*30*48 {
+		t.Errorf("counter=%d, want %d", vTree, 4*30*48)
+	}
+	if vTree != vRadix || sTree != sRadix {
+		t.Errorf("tree vs radix diverge at 48 cores:\n tree  %+v\n radix %+v", sTree, sRadix)
+	}
+	if vTree != vHeap || sTree != sHeap {
+		t.Errorf("tree vs heap diverge at 48 cores:\n tree %+v\n heap %+v", sTree, sHeap)
+	}
+	// 272 cores: past the tree; the auto-selected radix path must match
+	// the heap it replaced as the first fallback.
+	vR, sR := run(272, schedRadix)
+	vH, sH := run(272, schedHeap)
+	if vR != vH || sR != sH {
+		t.Errorf("radix vs heap diverge at 272 cores:\n radix %+v\n heap  %+v", sR, sH)
 	}
 }
 

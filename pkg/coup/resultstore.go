@@ -1,0 +1,215 @@
+package coup
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+)
+
+// StoreHeader identifies what a result store holds, written as the first
+// line of the file and verified on every open and merge. Namespace names
+// the producing job (one experiment, one grid family); Fingerprint is an
+// opaque digest of everything that parameterizes the spec list (scale,
+// reps, core caps — whatever the producer folds in), so a store recorded
+// under one parameterization can never resume or merge into another.
+// Shard/ShardCount are the round-robin coordinates the store's producer
+// ran under (0/1 for an unsharded store).
+type StoreHeader struct {
+	Namespace   string `json:"namespace"`
+	Fingerprint string `json:"fingerprint"`
+	Shard       int    `json:"shard"`
+	ShardCount  int    `json:"shard_count"`
+}
+
+// StoreRecord is one completed spec in a result store: its durable key
+// (SpecKey), its stats, and its failure state. Err is the error text
+// ("" for a clean run) and Panicked marks recovered panics, so merge
+// coverage can surface them instead of silently treating zero stats as
+// results. A recorded failure is still "done" — resume does not re-run
+// it, and the merge coverage check counts it.
+type StoreRecord struct {
+	Key      string `json:"key"`
+	Stats    Stats  `json:"stats"`
+	Err      string `json:"err,omitempty"`
+	Panicked bool   `json:"panicked,omitempty"`
+}
+
+// ResultStore is the spill-to-disk journal a store-backed sweep writes:
+// a header line followed by one JSON record line per completed spec,
+// each append fsync'd before Put returns, so every record that Put
+// acknowledged survives a crash. Opening an existing store replays it —
+// tolerating a torn final record from a killed writer by truncating it
+// away — which is exactly the resume path: completed specs come from
+// the map, everything else gets recomputed and appended.
+//
+// Put is safe for concurrent use (sweep workers complete specs in
+// parallel); everything else follows the single-coordinator pattern.
+type ResultStore struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+	recs map[string]StoreRecord
+}
+
+// OpenResultStore opens or creates the store at path for the given
+// header. A fresh file is created with the header as its first line; an
+// existing file must carry exactly this header (ErrStoreMismatch
+// otherwise — a store from a different namespace, parameterization or
+// shard never silently resumes) and has its records loaded, with a
+// corrupt tail truncated in place.
+func OpenResultStore(path string, h StoreHeader) (*ResultStore, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("coup: result store: %w", err)
+	}
+	s := &ResultStore{f: f, path: path, recs: map[string]StoreRecord{}}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("coup: result store: %w", err)
+	}
+	if info.Size() == 0 {
+		line, err := json.Marshal(h)
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("coup: result store: %w", err)
+		}
+		if _, err := f.Write(append(line, '\n')); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("coup: result store %s: %w", path, err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("coup: result store %s: %w", path, err)
+		}
+		return s, nil
+	}
+	got, recs, good, err := replayStore(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if got != h {
+		f.Close()
+		return nil, fmt.Errorf("coup: %w: %s holds %+v, want %+v", ErrStoreMismatch, path, got, h)
+	}
+	// Drop any torn tail so subsequent appends extend a clean journal.
+	if good < info.Size() {
+		if err := f.Truncate(good); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("coup: result store %s: %w", path, err)
+		}
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("coup: result store %s: %w", path, err)
+	}
+	s.recs = recs
+	return s, nil
+}
+
+// replayStore reads a store from the start: the header, every complete
+// record, and the byte offset up to which the file parsed cleanly. A
+// line that fails to parse — the torn final append of a killed writer —
+// ends the replay; everything before it stands. Within one store a
+// later record for the same key wins (resume never re-runs a recorded
+// key, so this only matters for hand-edited files).
+func replayStore(r io.Reader) (h StoreHeader, recs map[string]StoreRecord, good int64, err error) {
+	br := bufio.NewReader(r)
+	recs = map[string]StoreRecord{}
+	readLine := func() ([]byte, bool) {
+		line, err := br.ReadBytes('\n')
+		if err != nil {
+			return nil, false // no trailing newline: torn write
+		}
+		return line, true
+	}
+	line, ok := readLine()
+	if !ok || json.Unmarshal(line, &h) != nil {
+		return h, nil, 0, fmt.Errorf("coup: %w: unreadable store header", ErrStoreMismatch)
+	}
+	good = int64(len(line))
+	for {
+		line, ok := readLine()
+		if !ok {
+			return h, recs, good, nil
+		}
+		var rec StoreRecord
+		if json.Unmarshal(line, &rec) != nil || rec.Key == "" {
+			return h, recs, good, nil
+		}
+		recs[rec.Key] = rec
+		good += int64(len(line))
+	}
+}
+
+// Put appends one completed spec's record and fsyncs before returning:
+// once Put returns, the record survives a crash. Safe for concurrent
+// callers.
+func (s *ResultStore) Put(rec StoreRecord) error {
+	if rec.Key == "" {
+		return fmt.Errorf("coup: %w: store record needs a key", ErrInvalidOption)
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("coup: result store: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, err := s.f.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("coup: result store %s: %w", s.path, err)
+	}
+	if err := s.f.Sync(); err != nil {
+		return fmt.Errorf("coup: result store %s: %w", s.path, err)
+	}
+	s.recs[rec.Key] = rec
+	return nil
+}
+
+// Get returns the recorded result for key, if any.
+func (s *ResultStore) Get(key string) (StoreRecord, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.recs[key]
+	return rec, ok
+}
+
+// Len returns the number of completed specs the store holds.
+func (s *ResultStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.recs)
+}
+
+// Close flushes and closes the underlying file. The store is unusable
+// afterwards.
+func (s *ResultStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.f.Close()
+}
+
+// ReadResultStore loads a store read-only — the merge path. It returns
+// the header and every complete record, tolerating (skipping, not
+// repairing) a torn final record.
+func ReadResultStore(path string) (StoreHeader, []StoreRecord, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return StoreHeader{}, nil, fmt.Errorf("coup: result store: %w", err)
+	}
+	defer f.Close()
+	h, recs, _, err := replayStore(f)
+	if err != nil {
+		return StoreHeader{}, nil, fmt.Errorf("coup: result store %s: %w", path, err)
+	}
+	out := make([]StoreRecord, 0, len(recs))
+	for _, rec := range recs {
+		out = append(out, rec)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return h, out, nil
+}

@@ -25,20 +25,30 @@ type RunSpec struct {
 	Make func() (Workload, error)
 	// Options configure the machine, as in Run/RunWorkload.
 	Options []Option
+	// Key overrides the spec's durable identity in result stores and
+	// merge coverage (see SpecKey). Registry specs derive a content hash
+	// automatically and can leave it empty; Make specs participating in
+	// store-backed sweeps must set it. Plain Sweep ignores it.
+	Key string
 }
 
 // SweepResult pairs one spec's stats with its error. As with Run, Stats
 // may hold partial results even when Err is non-nil (e.g. a validation
-// failure after a completed simulation).
+// failure after a completed simulation). Panicked distinguishes the
+// recovered-panic flavor of Err (a workload factory or kernel panic) so
+// store-backed sweeps and merge coverage can surface those specs
+// explicitly rather than passing their zero stats off as results.
 type SweepResult struct {
-	Stats Stats
-	Err   error
+	Stats    Stats
+	Err      error
+	Panicked bool
 }
 
 // sweepConfig carries sweep-level knobs.
 type sweepConfig struct {
 	parallelism int
 	arena       bool
+	arenaCap    int
 	metrics     *obs.Registry
 }
 
@@ -69,6 +79,24 @@ func WithParallelism(n int) SweepOption {
 func WithMachineArena(on bool) SweepOption {
 	return func(c *sweepConfig) error {
 		c.arena = on
+		return nil
+	}
+}
+
+// WithArenaCap bounds each worker's machine arena at n resident machines
+// (n >= 1), evicting the least-recently-used geometry when a release
+// would exceed it. Wide multi-geometry sweeps — many core counts × cache
+// shapes — otherwise keep one pooled machine per shape per worker
+// resident for the sweep's lifetime; a cap trades warm-hit rate for
+// bounded peak memory. Capping never changes results (the arena rebuilds
+// evicted shapes cold), only speed. Requires arenas on (the default);
+// n < 1 is an error (ErrInvalidOption).
+func WithArenaCap(n int) SweepOption {
+	return func(c *sweepConfig) error {
+		if n < 1 {
+			return fmt.Errorf("coup: %w: arena cap must be >= 1, got %d", ErrInvalidOption, n)
+		}
+		c.arenaCap = n
 		return nil
 	}
 }
@@ -125,10 +153,14 @@ func NewSweeper(opts ...SweepOption) (*Sweeper, error) {
 		}
 	}
 	s := &Sweeper{parallelism: cfg.parallelism}
+	if cfg.arenaCap > 0 && !cfg.arena {
+		return nil, fmt.Errorf("coup: %w: WithArenaCap requires machine arenas on", ErrInvalidOption)
+	}
 	if cfg.arena {
 		s.arenas = make([]*sim.Arena, cfg.parallelism)
 		for i := range s.arenas {
 			s.arenas[i] = sim.NewArena()
+			s.arenas[i].SetCap(cfg.arenaCap)
 		}
 	}
 	if m := cfg.metrics; m != nil {
@@ -147,7 +179,24 @@ func NewSweeper(opts ...SweepOption) (*Sweeper, error) {
 // failures, even panics out of a workload factory or kernel — are
 // captured as that spec's Err; one broken run never takes down the sweep.
 func (s *Sweeper) Run(specs []RunSpec) []SweepResult {
+	return s.RunEach(specs, nil)
+}
+
+// RunEach is Run with a completion callback: done(i, r) fires once per
+// spec as its result lands, before Run returns, so callers can spill
+// results durably (the SweepJob result store) while the sweep is still
+// in flight — an interrupted sweep then keeps everything finished so
+// far. done may be called concurrently from worker goroutines and must
+// be safe for that; i is the spec's input index. A nil done makes
+// RunEach identical to Run.
+func (s *Sweeper) RunEach(specs []RunSpec, done func(i int, r SweepResult)) []SweepResult {
 	out := make([]SweepResult, len(specs))
+	finish := func(i int, r SweepResult) {
+		out[i] = r
+		if done != nil {
+			done(i, r)
+		}
+	}
 	workers := s.parallelism
 	if workers > len(specs) {
 		workers = len(specs)
@@ -155,7 +204,7 @@ func (s *Sweeper) Run(specs []RunSpec) []SweepResult {
 	if workers <= 1 {
 		a := s.arena(0)
 		for i := range specs {
-			out[i] = s.runCounted(0, a, specs[i])
+			finish(i, s.runCounted(0, a, specs[i]))
 		}
 		return out
 	}
@@ -167,7 +216,7 @@ func (s *Sweeper) Run(specs []RunSpec) []SweepResult {
 			defer wg.Done()
 			a := s.arena(w)
 			for i := range idx {
-				out[i] = s.runCounted(w, a, specs[i])
+				finish(i, s.runCounted(w, a, specs[i]))
 			}
 		}(w)
 	}
@@ -192,6 +241,13 @@ func (s *Sweeper) arena(w int) *sim.Arena {
 // arena's pool-stat deltas since its last publish. Each write is an obs
 // update-only add on the worker's own shard, so progress costs the sweep
 // nothing measurable and a concurrent reader sees live totals.
+//
+// "Done" deliberately includes failures: a spec that errored — or
+// panicked and was recovered — counts in coup_sweep_specs_total exactly
+// like a clean run, and the result store records it the same way
+// (done-with-error). The counter, the store and the merge coverage
+// report therefore always agree on how many specs finished;
+// TestSweepPanickedSpecIsDone pins this.
 func (s *Sweeper) runCounted(w int, a *sim.Arena, spec RunSpec) SweepResult {
 	if s.specsDone == nil {
 		return runSpec(a, spec)
@@ -230,6 +286,7 @@ func runSpec(arena *sim.Arena, s RunSpec) (res SweepResult) {
 	defer func() {
 		if r := recover(); r != nil {
 			res.Err = fmt.Errorf("coup: sweep run panicked: %v", r)
+			res.Panicked = true
 		}
 	}()
 	switch {

@@ -1,7 +1,6 @@
 package coup
 
 import (
-	"fmt"
 	"testing"
 )
 
@@ -25,14 +24,24 @@ func benchSpecs(cores, n int) []RunSpec {
 }
 
 // BenchmarkSweepSteadyState measures the sweep engine's per-spec cost on
-// repeated small machines, with the per-worker arenas on and off. ns/op
-// is one whole sweep (12 specs); allocs/op shows the arena removing the
-// machine-sized share. CI tracks the arena=on numbers in BENCH_baseline.
+// repeated small machines: per-worker arenas on, capped (arena=capped
+// bounds each arena to one pooled machine, exercising the LRU-eviction
+// bookkeeping while the single shape here still always hits warm), and
+// off. ns/op is one whole sweep (12 specs); allocs/op shows the arena
+// removing the machine-sized share. CI tracks all three in
+// BENCH_baseline.
 func BenchmarkSweepSteadyState(b *testing.B) {
-	for _, arena := range []bool{true, false} {
-		b.Run(fmt.Sprintf("arena=%v", arena), func(b *testing.B) {
+	for _, bc := range []struct {
+		name string
+		opts []SweepOption
+	}{
+		{"arena=true", []SweepOption{WithMachineArena(true)}},
+		{"arena=capped", []SweepOption{WithMachineArena(true), WithArenaCap(1)}},
+		{"arena=false", []SweepOption{WithMachineArena(false)}},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
 			specs := benchSpecs(16, 12)
-			s, err := NewSweeper(WithParallelism(1), WithMachineArena(arena))
+			s, err := NewSweeper(append([]SweepOption{WithParallelism(1)}, bc.opts...)...)
 			if err != nil {
 				b.Fatal(err)
 			}

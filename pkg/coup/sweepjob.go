@@ -1,0 +1,320 @@
+package coup
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// SweepJob is the shardable, resumable job model over Sweeper: it
+// intercepts a harness's sweeps and routes them through durable result
+// stores, in one of two modes.
+//
+// A shard job (NewShardJob) owns the round-robin slice k of n of every
+// spec list it is handed. It runs only its own specs, spills each
+// completed spec to a per-namespace ResultStore as it lands (fsync'd,
+// so a kill loses at most the in-flight specs), and on restart resumes
+// from the store instead of recomputing. Results for foreign specs stay
+// zero and the sweep reports incomplete, telling the harness to skip
+// aggregation.
+//
+// A merge job (NewMergeJob) runs nothing: it loads every shard store in
+// its directory and resolves each sweep entirely from records, after
+// verifying coverage — every spec present exactly once, with missing or
+// duplicated specs reported as a typed *CoverageError listing the
+// offending keys. A complete merge hands the harness exactly the
+// results a single-process sweep would have produced, so downstream
+// tables are byte-identical (TestShardMergeTablesIdentical pins this).
+//
+// Spec identity is SpecKeys — content hashes with ordinal suffixes —
+// prefixed per sweep ("g1:", "g2:", …) in call order, so a harness
+// issuing several sweeps per namespace keeps them apart; the harness
+// must therefore enumerate the same sweeps in the same order in every
+// shard and in the merge, which deterministic experiment code does by
+// construction. Namespaces (one per experiment) map to store files;
+// Fingerprint guards against mixing stores from different
+// parameterizations (scale, reps, core caps).
+//
+// A SweepJob is not safe for concurrent use; harnesses drive it from
+// their (serial) experiment loop.
+type SweepJob struct {
+	dir         string
+	fingerprint string
+	shard       int
+	shardCount  int
+	merge       bool
+
+	ns    string
+	seq   int
+	store *ResultStore           // shard mode: the open store for ns
+	recs  map[string]StoreRecord // merge mode: union of all shard stores
+	dups  map[string]bool        // merge mode: keys seen in >1 store
+	rep   JobReport
+}
+
+// JobReport summarizes what a job did in its current namespace:
+// freshly computed specs, specs served from a store, and the keys of
+// specs that finished by panicking (done-with-error — counted and
+// stored like any other completion, but surfaced here so a merge never
+// silently passes their zero stats off as results).
+type JobReport struct {
+	Namespace string
+	Computed  int
+	Reused    int
+	Panicked  []string
+	Failed    []string
+}
+
+// String renders the report's one-line summary plus any failure detail.
+func (r JobReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %d computed, %d reused", r.Namespace, r.Computed, r.Reused)
+	if len(r.Panicked) > 0 {
+		fmt.Fprintf(&b, ", %d PANICKED (%s)", len(r.Panicked), strings.Join(r.Panicked, ", "))
+	}
+	if len(r.Failed) > 0 {
+		fmt.Fprintf(&b, ", %d failed (%s)", len(r.Failed), strings.Join(r.Failed, ", "))
+	}
+	return b.String()
+}
+
+// CoverageError is the merge-time verification failure: the union of
+// shard stores does not cover the enumerated specs exactly once.
+// Missing lists keys no store recorded (a shard that never ran or never
+// finished); Duplicate lists keys recorded by more than one store
+// (stores from overlapping shard layouts mixed in one directory).
+type CoverageError struct {
+	Namespace string
+	Missing   []string
+	Duplicate []string
+}
+
+func (e *CoverageError) Error() string {
+	var parts []string
+	if n := len(e.Missing); n > 0 {
+		parts = append(parts, fmt.Sprintf("%d missing (%s)", n, strings.Join(e.Missing, ", ")))
+	}
+	if n := len(e.Duplicate); n > 0 {
+		parts = append(parts, fmt.Sprintf("%d duplicated (%s)", n, strings.Join(e.Duplicate, ", ")))
+	}
+	return fmt.Sprintf("coup: merge coverage for %s: %s", e.Namespace, strings.Join(parts, "; "))
+}
+
+// NewShardJob returns a job that owns shard k of n (zero-based) and
+// journals results under dir, guarded by fingerprint.
+func NewShardJob(dir, fingerprint string, k, n int) (*SweepJob, error) {
+	if err := validShard(k, n); err != nil {
+		return nil, err
+	}
+	return &SweepJob{dir: dir, fingerprint: fingerprint, shard: k, shardCount: n}, nil
+}
+
+// NewMergeJob returns a job that resolves every sweep from the shard
+// stores under dir, guarded by fingerprint.
+func NewMergeJob(dir, fingerprint string) *SweepJob {
+	return &SweepJob{dir: dir, fingerprint: fingerprint, merge: true}
+}
+
+// storePath names the store file for namespace ns and shard k of n:
+// "<ns>.shard-<k+1>-of-<n>.json" (human shard numbering, matching the
+// -shard flag).
+func storePath(dir, ns string, k, n int) string {
+	return filepath.Join(dir, fmt.Sprintf("%s.shard-%d-of-%d.json", ns, k+1, n))
+}
+
+// SetNamespace switches the job to namespace ns (one experiment id in
+// the coupbench consumer), resetting the per-namespace sweep sequence
+// and report. Shard mode opens (or resumes) this shard's store for ns;
+// merge mode loads every "<ns>.shard-*.json" store in the directory,
+// verifying each header against the namespace and fingerprint.
+func (j *SweepJob) SetNamespace(ns string) error {
+	if ns == "" || strings.ContainsAny(ns, "/\\ \t\n*?") {
+		return fmt.Errorf("coup: %w: bad job namespace %q", ErrInvalidOption, ns)
+	}
+	if err := j.Close(); err != nil {
+		return err
+	}
+	j.ns = ns
+	j.seq = 0
+	j.rep = JobReport{Namespace: ns}
+	if !j.merge {
+		st, err := OpenResultStore(storePath(j.dir, ns, j.shard, j.shardCount), StoreHeader{
+			Namespace:   ns,
+			Fingerprint: j.fingerprint,
+			Shard:       j.shard,
+			ShardCount:  j.shardCount,
+		})
+		if err != nil {
+			return err
+		}
+		j.store = st
+		return nil
+	}
+	paths, err := filepath.Glob(filepath.Join(j.dir, ns+".shard-*.json"))
+	if err != nil {
+		return fmt.Errorf("coup: merge: %w", err)
+	}
+	sort.Strings(paths)
+	j.recs = map[string]StoreRecord{}
+	j.dups = map[string]bool{}
+	shardCount := 0
+	for _, p := range paths {
+		h, recs, err := ReadResultStore(p)
+		if err != nil {
+			return err
+		}
+		if h.Namespace != ns || h.Fingerprint != j.fingerprint {
+			return fmt.Errorf("coup: %w: %s holds %+v, want namespace %q fingerprint %q",
+				ErrStoreMismatch, p, h, ns, j.fingerprint)
+		}
+		if shardCount == 0 {
+			shardCount = h.ShardCount
+		} else if h.ShardCount != shardCount {
+			return fmt.Errorf("coup: %w: %s is shard %d of %d amid stores of %d shards (overlapping layouts)",
+				ErrStoreMismatch, p, h.Shard+1, h.ShardCount, shardCount)
+		}
+		for _, rec := range recs {
+			if _, seen := j.recs[rec.Key]; seen {
+				j.dups[rec.Key] = true
+			}
+			j.recs[rec.Key] = rec
+		}
+	}
+	return nil
+}
+
+// Report returns what the job has done in the current namespace.
+func (j *SweepJob) Report() JobReport { return j.rep }
+
+// Close releases the current namespace's store, if any. Safe to call
+// repeatedly; SetNamespace calls it implicitly.
+func (j *SweepJob) Close() error {
+	if j.store != nil {
+		err := j.store.Close()
+		j.store = nil
+		if err != nil {
+			return fmt.Errorf("coup: result store: %w", err)
+		}
+	}
+	return nil
+}
+
+// Sweep is the job-routed replacement for Sweeper.Run: it resolves the
+// specs from stores where possible, runs (and journals) what this
+// shard owns and hasn't recorded, and returns one result per spec in
+// input order. complete reports whether every result is real — false
+// in shard mode when foreign shards own some specs (their slots are
+// zero), in which case the harness must skip aggregation. Merge mode is
+// always complete or fails with a *CoverageError.
+func (j *SweepJob) Sweep(s *Sweeper, specs []RunSpec) (results []SweepResult, complete bool, err error) {
+	if j.ns == "" {
+		return nil, false, fmt.Errorf("coup: %w: SweepJob.Sweep before SetNamespace", ErrInvalidOption)
+	}
+	j.seq++
+	keys, err := SpecKeys(specs)
+	if err != nil {
+		return nil, false, fmt.Errorf("coup: sweep job %s: %w", j.ns, err)
+	}
+	for i := range keys {
+		keys[i] = fmt.Sprintf("g%d:%s", j.seq, keys[i])
+	}
+	if j.merge {
+		return j.resolveMerge(specs, keys)
+	}
+	return j.runShard(s, specs, keys)
+}
+
+// resolveMerge serves every spec from the loaded records, verifying
+// exactly-once coverage first.
+func (j *SweepJob) resolveMerge(specs []RunSpec, keys []string) ([]SweepResult, bool, error) {
+	cov := &CoverageError{Namespace: j.ns}
+	for _, k := range keys {
+		if _, ok := j.recs[k]; !ok {
+			cov.Missing = append(cov.Missing, k)
+		}
+		if j.dups[k] {
+			cov.Duplicate = append(cov.Duplicate, k)
+		}
+	}
+	if len(cov.Missing) > 0 || len(cov.Duplicate) > 0 {
+		return nil, false, cov
+	}
+	out := make([]SweepResult, len(specs))
+	for i, k := range keys {
+		out[i] = j.noteResult(k, resultFrom(j.recs[k]))
+		j.rep.Reused++
+	}
+	return out, true, nil
+}
+
+// runShard serves this shard's recorded specs from the store, runs the
+// rest through the sweeper — journalling each completion as it lands —
+// and leaves foreign shards' slots zero.
+func (j *SweepJob) runShard(s *Sweeper, specs []RunSpec, keys []string) ([]SweepResult, bool, error) {
+	out := make([]SweepResult, len(specs))
+	mine, err := ShardIndices(len(specs), j.shard, j.shardCount)
+	if err != nil {
+		return nil, false, err
+	}
+	var todo []int
+	for _, i := range mine {
+		if rec, ok := j.store.Get(keys[i]); ok {
+			out[i] = j.noteResult(keys[i], resultFrom(rec))
+			j.rep.Reused++
+		} else {
+			todo = append(todo, i)
+		}
+	}
+	if len(todo) > 0 {
+		run := make([]RunSpec, len(todo))
+		for t, i := range todo {
+			run[t] = specs[i]
+		}
+		var mu sync.Mutex
+		var putErr error
+		res := s.RunEach(run, func(t int, r SweepResult) {
+			rec := StoreRecord{Key: keys[todo[t]], Stats: r.Stats, Panicked: r.Panicked}
+			if r.Err != nil {
+				rec.Err = r.Err.Error()
+			}
+			if err := j.store.Put(rec); err != nil {
+				mu.Lock()
+				if putErr == nil {
+					putErr = err
+				}
+				mu.Unlock()
+			}
+		})
+		if putErr != nil {
+			return nil, false, putErr
+		}
+		for t, i := range todo {
+			out[i] = j.noteResult(keys[i], res[t])
+			j.rep.Computed++
+		}
+	}
+	return out, j.shardCount == 1, nil
+}
+
+// noteResult records a result's failure state in the report.
+func (j *SweepJob) noteResult(key string, r SweepResult) SweepResult {
+	switch {
+	case r.Panicked:
+		j.rep.Panicked = append(j.rep.Panicked, key)
+	case r.Err != nil:
+		j.rep.Failed = append(j.rep.Failed, key)
+	}
+	return r
+}
+
+// resultFrom rehydrates a stored record into a sweep result.
+func resultFrom(rec StoreRecord) SweepResult {
+	res := SweepResult{Stats: rec.Stats, Panicked: rec.Panicked}
+	if rec.Err != "" {
+		res.Err = errors.New(rec.Err)
+	}
+	return res
+}

@@ -1,0 +1,346 @@
+package coup
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/pkg/obs"
+)
+
+// jobSpecs is a small two-grid workload mix exercising distinct shapes
+// and a deliberate duplicate (the same content twice, keyed by ordinal).
+func jobSpecs() [][]RunSpec {
+	g1 := []RunSpec{
+		counterSpec(1, 1),
+		counterSpec(2, 1),
+		counterSpec(2, 2),
+		counterSpec(4, 1),
+		counterSpec(2, 1), // duplicate of specs[1], distinct ordinal key
+	}
+	g2 := []RunSpec{
+		{Workload: "hist", Options: []Option{WithCores(2), WithProtocol("MESI"), WithSeed(1), WithWorkloadParams(WorkloadParams{Size: 80, Bins: 16})}},
+		{Workload: "hist", Options: []Option{WithCores(2), WithProtocol("MEUSI"), WithSeed(1), WithWorkloadParams(WorkloadParams{Size: 80, Bins: 16})}},
+	}
+	return [][]RunSpec{g1, g2}
+}
+
+func newTestSweeper(t *testing.T, opts ...SweepOption) *Sweeper {
+	t.Helper()
+	s, err := NewSweeper(opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// runJob drives job through the whole two-grid "experiment" under ns,
+// returning per-grid results and completeness.
+func runJob(t *testing.T, job *SweepJob, s *Sweeper, ns string) ([][]SweepResult, bool) {
+	t.Helper()
+	if err := job.SetNamespace(ns); err != nil {
+		t.Fatal(err)
+	}
+	var out [][]SweepResult
+	all := true
+	for _, specs := range jobSpecs() {
+		res, complete, err := job.Sweep(s, specs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, res)
+		all = all && complete
+	}
+	if err := job.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return out, all
+}
+
+// TestSweepJobShardMergeIdentical is the tentpole's acceptance shape in
+// miniature: specs split across shard jobs, run in separate job
+// instances, merged — and the merged results are identical to a plain
+// single-process sweep, grid by grid, spec by spec.
+func TestSweepJobShardMergeIdentical(t *testing.T) {
+	s := newTestSweeper(t)
+	var ref [][]SweepResult
+	for _, specs := range jobSpecs() {
+		ref = append(ref, s.Run(specs))
+	}
+
+	dir := t.TempDir()
+	const n = 3
+	for k := 0; k < n; k++ {
+		job, err := NewShardJob(dir, "fp", k, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, complete := runJob(t, job, s, "mini")
+		if complete {
+			t.Errorf("shard %d of %d reported complete", k+1, n)
+		}
+	}
+
+	merge := NewMergeJob(dir, "fp")
+	got, complete := runJob(t, merge, s, "mini")
+	if !complete {
+		t.Fatal("merge reported incomplete")
+	}
+	for g := range ref {
+		for i := range ref[g] {
+			if got[g][i].Stats != ref[g][i].Stats || got[g][i].Err != nil != (ref[g][i].Err != nil) {
+				t.Errorf("grid %d spec %d: merged result differs from single-process:\nmerged %+v\nsingle %+v",
+					g, i, got[g][i], ref[g][i])
+			}
+		}
+	}
+	if rep := merge.Report(); rep.Computed != 0 || rep.Reused != 7 {
+		t.Errorf("merge report %+v, want 0 computed / 7 reused", rep)
+	}
+}
+
+// TestSweepJobResume pins resume: a second run of the same shard over
+// the same stores recomputes nothing.
+func TestSweepJobResume(t *testing.T) {
+	s := newTestSweeper(t)
+	dir := t.TempDir()
+	job1, _ := NewShardJob(dir, "fp", 0, 2)
+	runJob(t, job1, s, "mini")
+	first := job1.Report()
+	if first.Computed == 0 || first.Reused != 0 {
+		t.Fatalf("first run report %+v, want all computed", first)
+	}
+
+	job2, _ := NewShardJob(dir, "fp", 0, 2)
+	res, _ := runJob(t, job2, s, "mini")
+	second := job2.Report()
+	if second.Computed != 0 || second.Reused != first.Computed {
+		t.Errorf("resume report %+v, want 0 computed / %d reused", second, first.Computed)
+	}
+	// Resumed results match a fresh sweep of the shard's own specs.
+	for g, specs := range jobSpecs() {
+		fresh := s.Run(specs)
+		for i := range specs {
+			if i%2 != 0 {
+				continue // shard 0 of 2 owns even indices
+			}
+			if res[g][i].Stats != fresh[i].Stats {
+				t.Errorf("grid %d spec %d: resumed stats differ from fresh run", g, i)
+			}
+		}
+	}
+}
+
+// TestSweepJobCrashResume is the torn-store integration path: kill a
+// shard mid-write (the store ends in a torn record), resume it, and the
+// merged results must be identical to an uninterrupted run's.
+func TestSweepJobCrashResume(t *testing.T) {
+	s := newTestSweeper(t)
+
+	// Uninterrupted reference: both shards complete, then merge.
+	refDir := t.TempDir()
+	for k := 0; k < 2; k++ {
+		job, _ := NewShardJob(refDir, "fp", k, 2)
+		runJob(t, job, s, "mini")
+	}
+	refMerge := NewMergeJob(refDir, "fp")
+	want, _ := runJob(t, refMerge, s, "mini")
+
+	// Interrupted run: shard 0 completes, then its store loses bytes from
+	// the tail — the last record torn mid-line, as a kill during an
+	// unsynced append would leave it.
+	dir := t.TempDir()
+	for k := 0; k < 2; k++ {
+		job, _ := NewShardJob(dir, "fp", k, 2)
+		runJob(t, job, s, "mini")
+	}
+	store := filepath.Join(dir, "mini.shard-1-of-2.json")
+	data, err := os.ReadFile(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := len(data) - 17 // mid-way through the final record's line
+	if err := os.WriteFile(store, data[:cut], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// A merge over the torn store must fail coverage, naming the victim.
+	merge := NewMergeJob(dir, "fp")
+	if err := merge.SetNamespace("mini"); err != nil {
+		t.Fatal(err)
+	}
+	sawCoverage := false
+	for _, specs := range jobSpecs() {
+		if _, _, err := merge.Sweep(s, specs); err != nil {
+			var cov *CoverageError
+			if !errors.As(err, &cov) {
+				t.Fatalf("torn merge error %v, want *CoverageError", err)
+			}
+			if len(cov.Missing) == 0 {
+				t.Fatal("coverage error lists no missing specs")
+			}
+			sawCoverage = true
+		}
+	}
+	if !sawCoverage {
+		t.Fatal("merge over a torn store raised no coverage error")
+	}
+
+	// Resume shard 0: only the torn spec is recomputed.
+	resume, _ := NewShardJob(dir, "fp", 0, 2)
+	runJob(t, resume, s, "mini")
+	if rep := resume.Report(); rep.Computed != 1 {
+		t.Errorf("resume recomputed %d specs, want exactly the 1 torn one (report %+v)", rep.Computed, rep)
+	}
+
+	// And the merge now matches the uninterrupted reference exactly.
+	merge2 := NewMergeJob(dir, "fp")
+	got, complete := runJob(t, merge2, s, "mini")
+	if !complete {
+		t.Fatal("post-resume merge incomplete")
+	}
+	for g := range want {
+		for i := range want[g] {
+			if got[g][i].Stats != want[g][i].Stats {
+				t.Errorf("grid %d spec %d: post-resume merge differs from uninterrupted run", g, i)
+			}
+		}
+	}
+}
+
+// TestSweepJobCoverageDuplicates pins the duplicate arm of coverage:
+// stores from overlapping shard layouts in one directory are a typed
+// error listing the twice-recorded keys.
+func TestSweepJobCoverageDuplicates(t *testing.T) {
+	s := newTestSweeper(t)
+	dir := t.TempDir()
+	for k := 0; k < 2; k++ {
+		job, _ := NewShardJob(dir, "fp", k, 2)
+		runJob(t, job, s, "mini")
+	}
+	// Forge an overlapping store: shard 2's keys re-recorded under a
+	// fabricated extra store for the same layout.
+	_, recs, err := ReadResultStore(filepath.Join(dir, "mini.shard-2-of-2.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	forged, err := OpenResultStore(filepath.Join(dir, "mini.shard-1-of-2.extra.json"), StoreHeader{
+		Namespace: "mini", Fingerprint: "fp", Shard: 0, ShardCount: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range recs {
+		forged.Put(rec)
+	}
+	forged.Close()
+
+	merge := NewMergeJob(dir, "fp")
+	if err := merge.SetNamespace("mini"); err != nil {
+		t.Fatal(err)
+	}
+	var cov *CoverageError
+	for _, specs := range jobSpecs() {
+		if _, _, err := merge.Sweep(s, specs); err != nil && errors.As(err, &cov) {
+			break
+		}
+	}
+	if cov == nil || len(cov.Duplicate) == 0 {
+		t.Fatalf("overlapping stores: no duplicate coverage error (got %v)", cov)
+	}
+	if !strings.Contains(cov.Error(), "duplicated") {
+		t.Errorf("coverage error %q does not name duplicates", cov.Error())
+	}
+}
+
+// TestSweepJobFingerprintGuard pins the parameterization guard: stores
+// recorded under one fingerprint neither resume nor merge under another.
+func TestSweepJobFingerprintGuard(t *testing.T) {
+	s := newTestSweeper(t)
+	dir := t.TempDir()
+	job, _ := NewShardJob(dir, "fp-scale1", 0, 1)
+	runJob(t, job, s, "mini")
+
+	other, _ := NewShardJob(dir, "fp-scale2", 0, 1)
+	if err := other.SetNamespace("mini"); !errors.Is(err, ErrStoreMismatch) {
+		t.Errorf("resume across fingerprints: err=%v, want ErrStoreMismatch", err)
+	}
+	merge := NewMergeJob(dir, "fp-scale2")
+	if err := merge.SetNamespace("mini"); !errors.Is(err, ErrStoreMismatch) {
+		t.Errorf("merge across fingerprints: err=%v, want ErrStoreMismatch", err)
+	}
+}
+
+// TestSweepPanickedSpecIsDone pins the done-with-error contract end to
+// end: a panicking spec counts in coup_sweep_specs_total exactly like a
+// clean one, lands in the result store as done (Panicked set), resume
+// does not re-run it, and the merge coverage path surfaces it in the
+// report instead of failing or silently zeroing.
+func TestSweepPanickedSpecIsDone(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := newTestSweeper(t, WithSweepMetrics(reg))
+	specs := []RunSpec{
+		counterSpec(2, 1),
+		{Key: "boom", Make: func() (Workload, error) { panic("kernel bug") }},
+		counterSpec(2, 2),
+	}
+	dir := t.TempDir()
+	job, _ := NewShardJob(dir, "fp", 0, 1)
+	if err := job.SetNamespace("panics"); err != nil {
+		t.Fatal(err)
+	}
+	res, complete, err := job.Sweep(s, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !complete {
+		t.Error("1-of-1 shard should be complete")
+	}
+	if !res[1].Panicked || res[1].Err == nil {
+		t.Fatalf("spec 1 result %+v, want recovered panic", res[1])
+	}
+	if got := reg.Counter("coup_sweep_specs_total", "").Value(); got != int64(len(specs)) {
+		t.Errorf("coup_sweep_specs_total=%d, want %d (panicked spec must count as done)", got, len(specs))
+	}
+	rep := job.Report()
+	if len(rep.Panicked) != 1 || !strings.Contains(rep.Panicked[0], "boom") {
+		t.Errorf("report %+v does not surface the panicked spec", rep)
+	}
+	job.Close()
+
+	// The store agrees with the counter: all three specs recorded.
+	h, recs, err := ReadResultStore(storePath(dir, "panics", 0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Namespace != "panics" || len(recs) != len(specs) {
+		t.Fatalf("store holds %d records under %q, want %d under panics", len(recs), h.Namespace, len(specs))
+	}
+
+	// Resume: the panicked spec is done — nothing recomputes.
+	resume, _ := NewShardJob(dir, "fp", 0, 1)
+	if err := resume.SetNamespace("panics"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := resume.Sweep(s, specs); err != nil {
+		t.Fatal(err)
+	}
+	if rep := resume.Report(); rep.Computed != 0 || len(rep.Panicked) != 1 {
+		t.Errorf("resume report %+v, want 0 computed and the panic surfaced again", rep)
+	}
+	resume.Close()
+
+	// Merge: coverage passes (done-with-error counts), report surfaces it.
+	merge := NewMergeJob(dir, "fp")
+	if err := merge.SetNamespace("panics"); err != nil {
+		t.Fatal(err)
+	}
+	if _, complete, err := merge.Sweep(s, specs); err != nil || !complete {
+		t.Fatalf("merge over panicked spec: complete=%v err=%v, want clean coverage", complete, err)
+	}
+	if rep := merge.Report(); len(rep.Panicked) != 1 {
+		t.Errorf("merge report %+v does not surface the panicked spec", rep)
+	}
+}
